@@ -1,0 +1,74 @@
+"""Micro-benchmarks — raw throughput of the simulation substrate.
+
+Unlike the figure/table benches (one expensive round each), these use
+pytest-benchmark's statistical timing: event-queue operations, one full
+10k-unit simulation, and the analytic source integral.  They guard
+against performance regressions in the hot paths that dominate
+experiment wall-clock time.
+"""
+
+from repro.cpu.presets import xscale_pxa
+from repro.energy.source import SolarStochasticSource
+from repro.energy.storage import IdealStorage
+from repro.experiments.common import PaperSetup
+from repro.sched.registry import make_scheduler
+from repro.sim.engine import EventQueue
+from repro.sim.simulator import HarvestingRtSimulator, SimulationConfig
+
+
+def test_event_queue_throughput(benchmark):
+    def churn():
+        queue = EventQueue()
+        for i in range(2_000):
+            queue.schedule(float(i % 97), "e", priority=i % 3)
+        while queue:
+            queue.pop()
+
+    benchmark(churn)
+
+
+def test_source_energy_integral(benchmark):
+    source = SolarStochasticSource(seed=0)
+    source.energy(0.0, 10_000.0)  # warm the draw cache
+
+    benchmark(source.energy, 0.0, 10_000.0)
+
+
+def test_full_simulation_ea_dvfs(benchmark):
+    setup = PaperSetup()
+
+    def run_once():
+        scale = setup.scale()
+        source = setup.source(0)
+        simulator = HarvestingRtSimulator(
+            taskset=setup.taskset(0, 0.4),
+            source=source,
+            storage=IdealStorage(capacity=100.0),
+            scheduler=make_scheduler("ea-dvfs", scale),
+            predictor=setup.predictor(source),
+            config=SimulationConfig(horizon=10_000.0),
+        )
+        return simulator.run()
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.released_count > 0
+
+
+def test_full_simulation_lsa(benchmark):
+    setup = PaperSetup()
+
+    def run_once():
+        scale = setup.scale()
+        source = setup.source(0)
+        simulator = HarvestingRtSimulator(
+            taskset=setup.taskset(0, 0.4),
+            source=source,
+            storage=IdealStorage(capacity=100.0),
+            scheduler=make_scheduler("lsa", scale),
+            predictor=setup.predictor(source),
+            config=SimulationConfig(horizon=10_000.0),
+        )
+        return simulator.run()
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.released_count > 0

@@ -1,0 +1,30 @@
+"""Table 1 — ratio of minimum zero-miss storage capacities.
+
+Paper: Cmin,LSA / Cmin,EA-DVFS = 2.5 / 1.33 / 1.05 / 1.01 at
+U = 0.2 / 0.4 / 0.6 / 0.8.  Shape checks: the ratio is large at low
+utilization, decays (weakly) monotonically, and approaches ~1 at U=0.8;
+EA-DVFS never needs meaningfully more storage than LSA at any point.
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_min_capacity_ratios(benchmark, report):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    report("table1_min_capacity", result.format_text())
+
+    ratios = [row.ratio for row in result.rows]
+    utils = [row.utilization for row in result.rows]
+    assert utils == [0.2, 0.4, 0.6, 0.8]
+
+    # Strong advantage at low utilization (paper: 2.5x at U=0.2).
+    assert ratios[0] >= 1.25
+    # Decaying advantage: the low-U ratio dominates the high-U one.
+    assert ratios[0] >= ratios[-1] - 0.05
+    # Near-parity at high utilization (paper: 1.01 at U=0.8).
+    assert ratios[-1] < ratios[0]
+    # EA-DVFS never needs meaningfully more storage than LSA.
+    assert all(r >= 0.93 for r in ratios)
+    # Capacities themselves grow with utilization for both policies.
+    lsa_caps = [row.cmin_lsa for row in result.rows]
+    assert lsa_caps[-1] > lsa_caps[0]

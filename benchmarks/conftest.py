@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every bench regenerates one paper table or figure, asserts its *shape*
+(who wins, roughly by how much, where the curves close up) and reports
+the rendered result:
+
+* to the terminal (bypassing pytest capture so ``--benchmark-only`` runs
+  still show the tables), and
+* to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md bookkeeping.
+
+Replication counts scale with the ``REPRO_SCALE`` environment variable
+(see ``repro.experiments.common``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable writing a rendered experiment result to screen + file."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        banner = "=" * 72
+        print(f"\n{banner}\n{name}\n{banner}\n{text}\n", file=sys.__stdout__)
+
+    return _report

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""How much does harvest prediction quality matter to EA-DVFS?
+
+Both LSA and EA-DVFS budget energy using the *predicted* future harvest
+ES(t, D) (section 5.1: "we trace the PS(t) profile to predict").  This
+ablation runs EA-DVFS with four predictors of decreasing fidelity:
+
+* oracle        — reads the realized future (upper bound);
+* profile       — cyclic-profile EWMA, the paper's approach;
+* mean          — single running mean power;
+* last-value    — persistence forecast.
+
+Run:  python examples/predictor_comparison.py
+"""
+
+from repro import (
+    EaDvfsScheduler,
+    HarvestingRtSimulator,
+    IdealStorage,
+    LastValuePredictor,
+    MeanPowerPredictor,
+    OraclePredictor,
+    ProfilePredictor,
+    SimulationConfig,
+    SolarStochasticSource,
+    generate_paper_taskset,
+    xscale_pxa,
+)
+
+UTILIZATION = 0.4
+CAPACITY = 60.0
+HORIZON = 10_000.0
+N_SETS = 6
+
+
+def make_predictor(kind: str, source):
+    if kind == "oracle":
+        return OraclePredictor(source)
+    if kind == "profile":
+        return ProfilePredictor()
+    if kind == "mean":
+        return MeanPowerPredictor(alpha=0.05)
+    if kind == "last-value":
+        return LastValuePredictor()
+    raise ValueError(kind)
+
+
+def main() -> None:
+    scale = xscale_pxa()
+    print(
+        f"EA-DVFS miss rate by predictor (U={UTILIZATION}, "
+        f"capacity={CAPACITY:g}, {N_SETS} task sets):\n"
+    )
+    print(f"{'predictor':>12} {'miss rate':>10} {'stalls':>8}")
+    for kind in ("oracle", "profile", "mean", "last-value"):
+        missed = judged = stalls = 0
+        for seed in range(N_SETS):
+            source = SolarStochasticSource(seed=seed)
+            taskset = generate_paper_taskset(
+                n_tasks=5,
+                utilization=UTILIZATION,
+                mean_harvest_power=source.mean_power(),
+                max_power=scale.max_power,
+                seed=seed,
+            )
+            simulator = HarvestingRtSimulator(
+                taskset=taskset,
+                source=source,
+                storage=IdealStorage(capacity=CAPACITY),
+                scheduler=EaDvfsScheduler(scale),
+                predictor=make_predictor(kind, source),
+                config=SimulationConfig(horizon=HORIZON),
+            )
+            result = simulator.run()
+            missed += result.missed_count
+            judged += result.judged_count
+            stalls += result.stall_count
+        print(f"{kind:>12} {missed / judged:10.4f} {stalls:8d}")
+
+    print(
+        "\nThe oracle bounds what better forecasting could buy.  For the\n"
+        "eq. (13) source all predictors land within a fraction of a\n"
+        "percent of it - the per-quantum noise averages out over a\n"
+        "deadline window - so EA-DVFS is robust to prediction fidelity\n"
+        "here; the stall counts show *how* they differ: optimistic\n"
+        "predictors start earlier and ride the storage floor more often."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""A solar-powered sensor node with a day/night harvest profile.
+
+The paper's introduction motivates EA-DVFS with perpetually-operating
+sensor nodes (Heliomote / Prometheus).  This example models such a node:
+
+* three periodic firmware tasks — sensor sampling, local processing and a
+  radio duty cycle — on the XScale-style processor;
+* a composite source: a day/night solar panel plus a small vibration
+  harvester trickle;
+* a super-capacitor-class storage, swept over a few sizes.
+
+For each storage size it reports the deadline miss rate and the energy
+wasted to overflow under plain EDF, LSA and EA-DVFS.
+
+Run:  python examples/solar_sensor_node.py
+"""
+
+from repro import (
+    CompositeSource,
+    ConstantSource,
+    DayNightSource,
+    EaDvfsScheduler,
+    GreedyEdfScheduler,
+    HarvestingRtSimulator,
+    IdealStorage,
+    LazyScheduler,
+    PeriodicTask,
+    ProfilePredictor,
+    SimulationConfig,
+    TaskSet,
+    xscale_pxa,
+)
+
+HORIZON = 8_000.0
+DAY_LENGTH = 400.0  # one "day" = 800 time units
+SCHEDULERS = (GreedyEdfScheduler, LazyScheduler, EaDvfsScheduler)
+
+
+def build_source() -> CompositeSource:
+    solar = DayNightSource(
+        day_power=4.0,
+        night_power=0.0,
+        day_length=DAY_LENGTH,
+        night_length=DAY_LENGTH,
+    )
+    vibration = ConstantSource(0.15)  # tiny but always-on trickle
+    return CompositeSource([solar, vibration])
+
+
+def build_workload() -> TaskSet:
+    return TaskSet(
+        [
+            # Fast sampling loop: light but frequent.
+            PeriodicTask(period=10.0, wcet=0.8, name="sample"),
+            # On-node feature extraction over each sample batch.
+            PeriodicTask(period=50.0, wcet=9.0, name="process"),
+            # Radio transmission window once per 100 units.
+            PeriodicTask(period=100.0, wcet=14.0, name="radio"),
+        ]
+    )
+
+
+def main() -> None:
+    source_spec = build_source()
+    taskset = build_workload()
+    print(f"workload: {taskset} (U = {taskset.utilization:.3f})")
+    print(f"harvest: day/night solar (mean {source_spec.mean_power():.2f}) "
+          f"over {HORIZON:g} time units\n")
+
+    header = f"{'capacity':>9} " + "".join(
+        f"{cls.name + ' miss':>14}{cls.name + ' ovfl':>14}"
+        for cls in SCHEDULERS
+    )
+    print(header)
+    for capacity in (50.0, 150.0, 400.0, 1200.0):
+        row = f"{capacity:9.0f} "
+        for scheduler_cls in SCHEDULERS:
+            simulator = HarvestingRtSimulator(
+                taskset=build_workload(),
+                source=build_source(),
+                storage=IdealStorage(capacity=capacity),
+                scheduler=scheduler_cls(xscale_pxa()),
+                predictor=ProfilePredictor(period=2 * DAY_LENGTH, n_bins=32),
+                config=SimulationConfig(horizon=HORIZON),
+            )
+            result = simulator.run()
+            row += f"{result.miss_rate:14.4f}{result.overflow_energy:14.1f}"
+        print(row)
+
+    print(
+        "\nNight-time is the stress test: the node must ride each 400-unit\n"
+        "dark period on stored energy alone.  EA-DVFS stretches the heavy\n"
+        "'process'/'radio' jobs at dusk, so a much smaller super-capacitor\n"
+        "sustains a low miss rate than under LSA or plain EDF."
+    )
+
+
+if __name__ == "__main__":
+    main()

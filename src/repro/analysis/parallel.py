@@ -1,0 +1,166 @@
+"""Multi-process execution of replication sweeps.
+
+The figure/table experiments replicate each configuration across many
+seeded task sets; the runs are embarrassingly parallel.  This module
+fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* :class:`RunSpec` — one picklable cell (setup + scheduler + capacity +
+  seed);
+* :func:`run_parallel` — execute many specs, preserving input order;
+* :func:`parallel_miss_rates` — convenience wrapper returning pooled
+  miss rates per scheduler for one (utilization, capacity) cell.
+
+Results are returned *slim* by default (job list and trace dropped)
+because shipping thousands of job objects through IPC costs more than
+the simulation itself for short runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.common import PaperSetup
+from repro.sim.simulator import SimulationResult
+
+__all__ = [
+    "RunSpec",
+    "parallel_capacity_sweep",
+    "parallel_miss_rates",
+    "run_parallel",
+]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell, fully described by picklable values."""
+
+    scheduler_name: str
+    utilization: float
+    capacity: float
+    seed: int
+    setup: PaperSetup = PaperSetup()
+    energy_sample_interval: Optional[float] = None
+
+
+def _slim(result: SimulationResult) -> SimulationResult:
+    """Strip bulky per-job/trace payloads before crossing the process
+    boundary (metrics and counters are all the sweeps consume)."""
+    return dataclasses.replace(result, jobs=())
+
+
+def _execute(args: tuple[RunSpec, bool]) -> SimulationResult:
+    spec, slim = args
+    result = spec.setup.run(
+        scheduler_name=spec.scheduler_name,
+        utilization=spec.utilization,
+        capacity=spec.capacity,
+        seed=spec.seed,
+        energy_sample_interval=spec.energy_sample_interval,
+    )
+    return _slim(result) if slim else result
+
+
+def run_parallel(
+    specs: Sequence[RunSpec],
+    max_workers: Optional[int] = None,
+    slim: bool = True,
+) -> list[SimulationResult]:
+    """Run all specs across worker processes; results in input order.
+
+    With ``max_workers=1`` (or a single spec) everything runs in-process,
+    which keeps tests and small sweeps free of pool overhead.
+    """
+    if not specs:
+        return []
+    if max_workers == 1 or len(specs) == 1:
+        return [_execute((spec, slim)) for spec in specs]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_execute, [(spec, slim) for spec in specs]))
+
+
+def parallel_capacity_sweep(
+    scheduler_names: Sequence[str],
+    utilization: float,
+    capacities: Sequence[float],
+    seeds: Sequence[int],
+    setup: Optional[PaperSetup] = None,
+    max_workers: Optional[int] = None,
+):
+    """Parallel twin of :func:`repro.analysis.sweep.run_capacity_sweep`.
+
+    Returns the same ``list[CapacitySweepPoint]`` structure (with slim
+    results inside), so the figure harness can switch transparently
+    between serial and parallel execution.
+    """
+    from repro.analysis.metrics import aggregate_results
+    from repro.analysis.sweep import CapacitySweepPoint, ReplicatedRun
+
+    setup = setup or PaperSetup()
+    specs = [
+        RunSpec(
+            scheduler_name=name,
+            utilization=utilization,
+            capacity=capacity,
+            seed=seed,
+            setup=setup,
+        )
+        for capacity in capacities
+        for name in scheduler_names
+        for seed in seeds
+    ]
+    results = run_parallel(specs, max_workers=max_workers)
+    points = []
+    index = 0
+    per_cell = len(seeds)
+    for capacity in capacities:
+        cell = {}
+        for name in scheduler_names:
+            chunk = tuple(results[index : index + per_cell])
+            index += per_cell
+            cell[name] = ReplicatedRun(
+                scheduler_name=name,
+                capacity=capacity,
+                results=chunk,
+                metrics=aggregate_results(chunk),
+            )
+        points.append(CapacitySweepPoint(capacity=capacity, by_scheduler=cell))
+    return points
+
+
+def parallel_miss_rates(
+    scheduler_names: Sequence[str],
+    utilization: float,
+    capacity: float,
+    seeds: Sequence[int],
+    setup: Optional[PaperSetup] = None,
+    max_workers: Optional[int] = None,
+) -> dict[str, float]:
+    """Pooled miss rate per scheduler for one configuration cell.
+
+    All schedulers share the same seeds (paired comparison), and all
+    (scheduler, seed) runs go through one process pool.
+    """
+    setup = setup or PaperSetup()
+    specs = [
+        RunSpec(
+            scheduler_name=name,
+            utilization=utilization,
+            capacity=capacity,
+            seed=seed,
+            setup=setup,
+        )
+        for name in scheduler_names
+        for seed in seeds
+    ]
+    results = run_parallel(specs, max_workers=max_workers)
+    rates: dict[str, float] = {}
+    per_name = len(seeds)
+    for i, name in enumerate(scheduler_names):
+        chunk = results[i * per_name : (i + 1) * per_name]
+        missed = sum(r.missed_count for r in chunk)
+        judged = sum(r.judged_count for r in chunk)
+        rates[name] = missed / judged if judged else 0.0
+    return rates

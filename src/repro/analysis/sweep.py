@@ -1,0 +1,93 @@
+"""Replication and parameter-sweep drivers.
+
+The experiment harness runs each configuration over many independently
+seeded task sets / source realizations and aggregates.  The drivers here
+are generic over a *run factory*::
+
+    factory(scheduler_name: str, capacity: float, seed: int) -> SimulationResult
+
+so the same machinery serves the paper experiments, the ablations and the
+tests (which plug in tiny synthetic factories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.metrics import AggregateMetrics, aggregate_results
+from repro.sim.simulator import SimulationResult
+
+__all__ = [
+    "RunFactory",
+    "ReplicatedRun",
+    "CapacitySweepPoint",
+    "run_replications",
+    "run_capacity_sweep",
+]
+
+RunFactory = Callable[[str, float, int], SimulationResult]
+
+
+@dataclass(frozen=True)
+class ReplicatedRun:
+    """All replications of one (scheduler, capacity) cell."""
+
+    scheduler_name: str
+    capacity: float
+    results: tuple[SimulationResult, ...]
+    metrics: AggregateMetrics
+
+
+@dataclass(frozen=True)
+class CapacitySweepPoint:
+    """One x-axis point of a miss-rate-vs-capacity curve."""
+
+    capacity: float
+    by_scheduler: dict[str, ReplicatedRun]
+
+    def miss_rate(self, scheduler_name: str) -> float:
+        """Pooled miss rate of one scheduler at this capacity."""
+        return self.by_scheduler[scheduler_name].metrics.pooled_miss_rate
+
+
+def run_replications(
+    factory: RunFactory,
+    scheduler_name: str,
+    capacity: float,
+    seeds: Sequence[int],
+) -> ReplicatedRun:
+    """Run one configuration across all seeds and aggregate."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    results = tuple(factory(scheduler_name, capacity, seed) for seed in seeds)
+    return ReplicatedRun(
+        scheduler_name=scheduler_name,
+        capacity=capacity,
+        results=results,
+        metrics=aggregate_results(results),
+    )
+
+
+def run_capacity_sweep(
+    factory: RunFactory,
+    scheduler_names: Sequence[str],
+    capacities: Sequence[float],
+    seeds: Sequence[int],
+) -> list[CapacitySweepPoint]:
+    """Sweep capacities for several schedulers over common seeds.
+
+    All schedulers at one capacity see the *same* seeds (paired
+    comparison — the variance of the LSA/EA-DVFS difference is much lower
+    than with independent draws).
+    """
+    if not scheduler_names:
+        raise ValueError("at least one scheduler is required")
+    points = []
+    for capacity in capacities:
+        cell = {
+            name: run_replications(factory, name, capacity, seeds)
+            for name in scheduler_names
+        }
+        points.append(CapacitySweepPoint(capacity=capacity, by_scheduler=cell))
+    return points

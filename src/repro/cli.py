@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+``repro list``
+    Show the available experiments and schedulers.
+``repro run <experiment>``
+    Regenerate one paper figure/table and print it (set ``REPRO_SCALE``
+    to raise the replication count).
+``repro quick [options]``
+    One ad-hoc simulation with printed summary; optional JSON/CSV export
+    and an ASCII Gantt chart of the executed schedule.
+``repro feasibility [options]``
+    Offline analysis of a generated workload: EDF schedulability, the
+    long-run energy balance, and a storage-capacity lower bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import EXPERIMENTS, run_experiment, scale_factor
+from repro.experiments.common import PaperSetup
+from repro.sched.registry import available_schedulers
+
+__all__ = ["main", "build_parser"]
+
+_PREDICTOR_CHOICES = ("profile", "oracle", "mean")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Energy Aware Dynamic Voltage and Frequency "
+            "Selection for Real-Time Systems with Energy Harvesting' "
+            "(DATE 2008)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and schedulers")
+
+    run = sub.add_parser("run", help="regenerate a paper figure/table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+
+    quick = sub.add_parser("quick", help="run one ad-hoc simulation")
+    quick.add_argument(
+        "--scheduler", default="ea-dvfs", choices=available_schedulers()
+    )
+    quick.add_argument("--utilization", type=float, default=0.4)
+    quick.add_argument("--capacity", type=float, default=200.0)
+    quick.add_argument("--seed", type=int, default=0)
+    quick.add_argument("--horizon", type=float, default=10_000.0)
+    quick.add_argument(
+        "--predictor", default="profile", choices=_PREDICTOR_CHOICES
+    )
+    quick.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full result as JSON",
+    )
+    quick.add_argument(
+        "--trace-csv", metavar="PATH", default=None,
+        help="write the recorded trace as CSV (implies tracing)",
+    )
+    quick.add_argument(
+        "--gantt", action="store_true",
+        help="print an ASCII Gantt chart of the executed schedule "
+        "(best for short horizons)",
+    )
+    quick.add_argument(
+        "--gantt-until", type=float, default=None,
+        help="right edge of the Gantt window (default: the horizon)",
+    )
+
+    feas = sub.add_parser(
+        "feasibility", help="offline schedulability / energy analysis"
+    )
+    feas.add_argument("--utilization", type=float, default=0.4)
+    feas.add_argument("--seed", type=int, default=0)
+    feas.add_argument("--n-tasks", type=int, default=5)
+    feas.add_argument("--deficit-horizon", type=float, default=10_000.0)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("schedulers:")
+    for name in available_schedulers():
+        print(f"  {name}")
+    print(f"replication scale (REPRO_SCALE): {scale_factor():g}")
+    return 0
+
+
+def _cmd_run(experiment: str) -> int:
+    started = time.perf_counter()
+    result = run_experiment(experiment)
+    elapsed = time.perf_counter() - started
+    print(result.format_text())
+    print(f"[{experiment} completed in {elapsed:.1f}s at scale "
+          f"{scale_factor():g}]")
+    return 0
+
+
+def _cmd_quick(args: argparse.Namespace) -> int:
+    from repro.sim.tracing import TraceKind
+
+    setup = PaperSetup(horizon=args.horizon, predictor_kind=args.predictor)
+    needs_schedule_trace = args.gantt or args.trace_csv is not None
+
+    if needs_schedule_trace:
+        # Rebuild the run by hand so the schedule kinds get traced.
+        from repro.energy.storage import IdealStorage
+        from repro.sched.registry import make_scheduler
+        from repro.sim.simulator import (
+            HarvestingRtSimulator,
+            SimulationConfig,
+        )
+
+        scale = setup.scale()
+        source = setup.source(args.seed)
+        simulator = HarvestingRtSimulator(
+            taskset=setup.taskset(args.seed, args.utilization),
+            source=source,
+            storage=IdealStorage(capacity=args.capacity),
+            scheduler=make_scheduler(args.scheduler, scale),
+            predictor=setup.predictor(source),
+            config=SimulationConfig(
+                horizon=args.horizon,
+                trace_kinds=(
+                    TraceKind.JOB_START,
+                    TraceKind.JOB_PREEMPT,
+                    TraceKind.JOB_COMPLETE,
+                    TraceKind.JOB_MISS,
+                    TraceKind.FREQ_CHANGE,
+                    TraceKind.STALL,
+                ),
+            ),
+        )
+        result = simulator.run()
+    else:
+        result = setup.run(
+            scheduler_name=args.scheduler,
+            utilization=args.utilization,
+            capacity=args.capacity,
+            seed=args.seed,
+        )
+
+    print(result.summary())
+
+    if args.gantt:
+        from repro.sim.schedule_view import render_gantt
+
+        until = args.gantt_until if args.gantt_until else args.horizon
+        print()
+        print(render_gantt(result.trace, t0=0.0, t1=until))
+    if args.json:
+        from repro.serialization import save_result_json
+
+        save_result_json(result, args.json)
+        print(f"result written to {args.json}")
+    if args.trace_csv:
+        from repro.serialization import trace_to_csv
+
+        rows = trace_to_csv(result.trace, args.trace_csv)
+        print(f"{rows} trace records written to {args.trace_csv}")
+    return 0
+
+
+def _cmd_feasibility(args: argparse.Namespace) -> int:
+    from repro.analysis.schedulability import (
+        edf_schedulable,
+        energy_feasibility,
+        max_energy_deficit,
+    )
+
+    setup = PaperSetup()
+    scale = setup.scale()
+    source = setup.source(args.seed)
+    taskset = PaperSetup(n_tasks=args.n_tasks).taskset(
+        args.seed, args.utilization
+    )
+
+    print(f"workload: {taskset}")
+    for task in taskset:
+        print(
+            f"  {task.name}: period={task.period:g} "
+            f"wcet={task.wcet:.3f} (u={task.utilization:.3f})"
+        )
+    print(f"\nEDF schedulable (timing): {edf_schedulable(taskset)}")
+
+    fx = energy_feasibility(taskset, source, scale)
+    print(
+        f"energy balance: harvest mean {fx.mean_harvest_power:.3f}, "
+        f"full-speed demand {fx.full_speed_demand:.3f}, "
+        f"stretched lower bound {fx.min_demand:.3f}"
+    )
+    print(f"  sustainable at full speed: {fx.feasible_at_full_speed}")
+    print(f"  sustainable with DVFS:     {fx.feasible_with_dvfs}")
+
+    deficit = max_energy_deficit(
+        source, fx.full_speed_demand, args.deficit_horizon
+    )
+    print(
+        f"storage lower bound (max harvest deficit at full-speed demand "
+        f"over {args.deficit_horizon:g} units): {deficit:.1f}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment)
+    if args.command == "quick":
+        return _cmd_quick(args)
+    if args.command == "feasibility":
+        return _cmd_feasibility(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

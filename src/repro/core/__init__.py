@@ -1,0 +1,12 @@
+"""The paper's primary contribution: the EA-DVFS scheduling algorithm.
+
+:mod:`repro.core.slowdown` holds the pure per-job computations of section
+4 (equations (5)-(9): run-time budgets ``sr_n``/``sr_max`` and start times
+``s1``/``s2``); :mod:`repro.core.ea_dvfs` wires them into the online
+scheduler of Figure 4.
+"""
+
+from repro.core.ea_dvfs import EaDvfsScheduler
+from repro.core.slowdown import SlowdownPlan, compute_plan, minimum_feasible_level
+
+__all__ = ["EaDvfsScheduler", "SlowdownPlan", "compute_plan", "minimum_feasible_level"]

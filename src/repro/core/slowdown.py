@@ -1,0 +1,177 @@
+"""Pure EA-DVFS slow-down math (section 4, equations (5)-(12)).
+
+Given a job with absolute deadline ``D``, remaining full-speed work ``w``,
+the current time ``t`` and the available energy ``E = EC(t) + ÊS(t, D)``,
+the paper computes:
+
+* ``sr_n = E / P_n`` (eq. (5)) — how long the system can run at power
+  ``P_n`` before depleting the available energy at ``D``;
+* ``s1 = max(t, D - sr_n)`` (eq. (7)) — earliest start such that running
+  at the *minimum feasible* level ``f_n`` never over-commits energy;
+* ``sr_max = E / P_max`` (eq. (9)) and ``s2 = max(t, D - sr_max)``
+  (eq. (8)) — the same for full speed.
+
+``f_n`` is the slowest level satisfying inequality (6),
+``w / S_n <= D - t`` — the stretched execution still fits in the window.
+(The paper states the constraint at release time, ``a_m``/``w_m``; using
+the current time and *remaining* work is the natural generalization that
+makes the rule valid at re-dispatch after preemption, and coincides with
+the paper's form when ``t = a_m``.)
+
+The decision rule (section 4.3):
+
+* ``s1 == s2`` — energy is sufficient; run at full speed (case (a));
+* ``s1 < s2`` — energy is scarce; idle until ``s1``, run at ``f_n`` over
+  ``[s1, s2)``, and at full speed after ``s2`` (case (b)); the early
+  switch-up prevents the current job from "stealing excessive time from
+  future tasks" (Figure 3).
+
+Everything here is a pure function of its arguments — no simulator state —
+so the motivational examples of the paper are directly checkable as unit
+tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.dvfs import FrequencyLevel, FrequencyScale
+from repro.timeutils import EPSILON, INFINITY
+
+__all__ = ["SlowdownPlan", "minimum_feasible_level", "compute_plan"]
+
+
+@dataclass(frozen=True)
+class SlowdownPlan:
+    """Result of the EA-DVFS per-job computation.
+
+    Attributes
+    ----------
+    level:
+        Level to run at first (``f_n``; equals full speed when energy is
+        plentiful or no slower level fits the window).
+    s1, s2:
+        The paper's start times (eqs. (7), (8)); ``s1 <= s2`` always.
+    start_at:
+        When execution should begin (``max(now, s1)`` — equal to ``now``
+        when energy suffices).
+    switch_to_max_at:
+        Instant to raise to full speed, or ``None`` when the plan already
+        starts at full speed.
+    sufficient_energy:
+        The paper's case (a): available energy supports full-speed
+        execution from ``now`` through the deadline.
+    deadline_reachable:
+        ``False`` when even full speed cannot finish the remaining work
+        before the deadline — the job will miss regardless of energy.
+    """
+
+    level: FrequencyLevel
+    s1: float
+    s2: float
+    start_at: float
+    switch_to_max_at: Optional[float]
+    sufficient_energy: bool
+    deadline_reachable: bool
+
+
+def minimum_feasible_level(
+    scale: FrequencyScale,
+    remaining_work: float,
+    window: float,
+) -> Optional[FrequencyLevel]:
+    """Slowest level satisfying inequality (6) for the given window.
+
+    Returns ``None`` when even full speed cannot finish in time.
+    """
+    return scale.min_feasible_level(remaining_work, window)
+
+
+def compute_plan(
+    now: float,
+    deadline: float,
+    remaining_work: float,
+    available_energy: float,
+    scale: FrequencyScale,
+) -> SlowdownPlan:
+    """Evaluate equations (5)-(9) and the section 4.3 decision rule.
+
+    Parameters
+    ----------
+    now:
+        Current time ``t`` (the paper's ``a_m`` when invoked at release).
+    deadline:
+        Absolute deadline ``D = a_m + d_m``.
+    remaining_work:
+        Outstanding full-speed execution time (``w_m`` at release).
+    available_energy:
+        ``EC(t) + ÊS(t, D)``; ``inf`` is allowed and reproduces the
+        paper's infinite-storage special case (``s1 = s2 = t`` — plain
+        EDF at full speed).
+    scale:
+        The processor's DVFS ladder.
+    """
+    if remaining_work < 0 or math.isnan(remaining_work):
+        raise ValueError(f"remaining_work must be >= 0, got {remaining_work!r}")
+    if available_energy < 0:
+        available_energy = 0.0  # predictors are clamped, but be safe
+    max_level = scale.max_level
+    window = deadline - now
+
+    level = scale.min_feasible_level(remaining_work, window)
+    if level is None:
+        # Inequality (6) fails even at full speed: the deadline cannot be
+        # respected.  Report an immediate full-speed best-effort plan and
+        # let the caller decide (the simulator records the miss at D).
+        return SlowdownPlan(
+            level=max_level,
+            s1=now,
+            s2=now,
+            start_at=now,
+            switch_to_max_at=None,
+            sufficient_energy=False,
+            deadline_reachable=False,
+        )
+
+    if math.isinf(available_energy):
+        sr_n = INFINITY
+        sr_max = INFINITY
+    else:
+        sr_n = available_energy / level.power
+        sr_max = available_energy / max_level.power
+
+    s1 = max(now, deadline - sr_n)
+    s2 = max(now, deadline - sr_max)
+
+    # Case (a): s1 == s2.  With a strictly slower feasible level this can
+    # only happen when both collapse to ``now`` (sr_n >= sr_max >= window,
+    # ineq. (12)) — energy is sufficient, run at full speed.  When the
+    # minimum feasible level *is* full speed, s1 == s2 may sit in the
+    # future; then there is nothing to slow down and the plan degenerates
+    # to LSA's "wait until s2, run at full speed".
+    if s2 - s1 <= EPSILON:
+        sufficient = s2 - now <= EPSILON
+        return SlowdownPlan(
+            level=max_level,
+            s1=s1,
+            s2=s2,
+            start_at=s2,
+            switch_to_max_at=None,
+            sufficient_energy=sufficient,
+            deadline_reachable=True,
+        )
+
+    # Case (b): energy is nearly depleted — stretch.  Run at ``level``
+    # from s1, and at full speed from s2 on (section 4.3's anti-starvation
+    # switch-up).
+    return SlowdownPlan(
+        level=level,
+        s1=s1,
+        s2=s2,
+        start_at=s1,
+        switch_to_max_at=s2,
+        sufficient_energy=False,
+        deadline_reachable=True,
+    )

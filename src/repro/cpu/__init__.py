@@ -1,0 +1,23 @@
+"""Processor model: discrete DVFS levels, presets, and runtime state."""
+
+from repro.cpu.dvfs import FrequencyLevel, FrequencyScale, SwitchingOverhead
+from repro.cpu.presets import (
+    continuous_approximation,
+    motivational_example_scale,
+    stretch_example_scale,
+    two_speed_scale,
+    xscale_pxa,
+)
+from repro.cpu.processor import Processor
+
+__all__ = [
+    "FrequencyLevel",
+    "FrequencyScale",
+    "Processor",
+    "SwitchingOverhead",
+    "continuous_approximation",
+    "motivational_example_scale",
+    "stretch_example_scale",
+    "two_speed_scale",
+    "xscale_pxa",
+]

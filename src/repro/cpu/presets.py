@@ -1,0 +1,112 @@
+"""Ready-made processor frequency scales.
+
+The evaluation (section 5.1) uses an Intel XScale-like processor with five
+operating points; the motivational examples of sections 2 and 4.3 each use
+a small ad-hoc two-level machine.  All of them are captured here so tests,
+examples and benchmarks share one definition.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.dvfs import FrequencyLevel, FrequencyScale
+
+__all__ = [
+    "xscale_pxa",
+    "motivational_example_scale",
+    "stretch_example_scale",
+    "two_speed_scale",
+    "continuous_approximation",
+]
+
+#: XScale operating points from section 5.1: MHz and mW.
+XSCALE_FREQUENCIES_MHZ: tuple[float, ...] = (150.0, 400.0, 600.0, 800.0, 1000.0)
+XSCALE_POWERS_MW: tuple[float, ...] = (80.0, 400.0, 1000.0, 2000.0, 3200.0)
+
+
+def xscale_pxa(power_unit: float = 1e-3) -> FrequencyScale:
+    """The paper's five-speed XScale-like processor.
+
+    ``power_unit`` converts the datasheet milliwatts into the abstract
+    power unit of the simulation; the default ``1e-3`` yields watts
+    (``P_max = 3.2``), which is commensurate with the eq. (13) source whose
+    mean output is ~4 — exactly the regime the paper's experiments live in.
+    """
+    if power_unit <= 0:
+        raise ValueError(f"power_unit must be > 0, got {power_unit!r}")
+    return FrequencyScale.from_frequencies(
+        [f * 1e6 for f in XSCALE_FREQUENCIES_MHZ],
+        [p * power_unit for p in XSCALE_POWERS_MW],
+    )
+
+
+def motivational_example_scale() -> FrequencyScale:
+    """Two-speed machine of the section 2 example.
+
+    "the processor operates in two speeds ... the former twice as fast as
+    the latter. The power at high speed is 3 times as much as that in low
+    speed" with maximum power 8: levels (S=0.5, P=8/3) and (S=1, P=8).
+    """
+    return FrequencyScale(
+        [
+            FrequencyLevel(speed=0.5, power=8.0 / 3.0),
+            FrequencyLevel(speed=1.0, power=8.0),
+        ]
+    )
+
+
+def stretch_example_scale() -> FrequencyScale:
+    """Two-speed machine of the section 4.3 over-stretching example.
+
+    ``f_n = 0.25 f_max`` with ``P_n = 1`` and ``P_max = 8``.
+    """
+    return FrequencyScale(
+        [
+            FrequencyLevel(speed=0.25, power=1.0),
+            FrequencyLevel(speed=1.0, power=8.0),
+        ]
+    )
+
+
+def two_speed_scale(
+    low_speed: float,
+    low_power: float,
+    max_power: float,
+) -> FrequencyScale:
+    """Arbitrary two-speed machine (full speed plus one slow point)."""
+    return FrequencyScale(
+        [
+            FrequencyLevel(speed=low_speed, power=low_power),
+            FrequencyLevel(speed=1.0, power=max_power),
+        ]
+    )
+
+
+def continuous_approximation(
+    n_levels: int = 32,
+    max_power: float = 3.2,
+    exponent: float = 3.0,
+    min_speed: float = 0.05,
+) -> FrequencyScale:
+    """Dense ladder approximating an ideal continuous DVFS processor.
+
+    Power follows the classic cubic-in-frequency model ``P(S) = P_max *
+    S**exponent`` (dynamic power ~ ``f * V^2`` with ``V ~ f``).  Used by the
+    ablation benches to bound how much the 5-point XScale ladder loses
+    against an (almost) continuous one.
+    """
+    if n_levels < 2:
+        raise ValueError(f"n_levels must be >= 2, got {n_levels!r}")
+    if not 0.0 < min_speed < 1.0:
+        raise ValueError(f"min_speed must lie in (0, 1), got {min_speed!r}")
+    if exponent < 1.0:
+        raise ValueError(
+            f"exponent must be >= 1 for a physically sane model, got {exponent!r}"
+        )
+    step = (1.0 - min_speed) / (n_levels - 1)
+    levels = []
+    for i in range(n_levels):
+        speed = min_speed + i * step
+        levels.append(
+            FrequencyLevel(speed=speed, power=max_power * speed**exponent)
+        )
+    return FrequencyScale(levels)

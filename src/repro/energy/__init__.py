@@ -1,0 +1,54 @@
+"""Energy-harvesting subsystem: sources, predictors and storage.
+
+This package models the left-hand side of the paper's Figure 2 — the
+ambient energy source, the (optional) prediction of its future output, and
+the energy storage that buffers harvested energy for the real-time system.
+"""
+
+from repro.energy.predictor import (
+    HarvestPredictor,
+    LastValuePredictor,
+    MeanPowerPredictor,
+    OraclePredictor,
+    ProfilePredictor,
+)
+from repro.energy.source import (
+    CompositeSource,
+    ConstantSource,
+    DayNightSource,
+    EnergySource,
+    MarkovWeatherSource,
+    ScaledSource,
+    SolarStochasticSource,
+    TraceSource,
+)
+from repro.energy.storage import EnergyStorage, IdealStorage, NonIdealStorage
+from repro.energy.trace_io import (
+    load_power_csv,
+    resample_to_quantum,
+    save_power_csv,
+    source_from_csv,
+)
+
+__all__ = [
+    "load_power_csv",
+    "resample_to_quantum",
+    "save_power_csv",
+    "source_from_csv",
+    "CompositeSource",
+    "ConstantSource",
+    "DayNightSource",
+    "EnergySource",
+    "EnergyStorage",
+    "HarvestPredictor",
+    "IdealStorage",
+    "LastValuePredictor",
+    "MarkovWeatherSource",
+    "MeanPowerPredictor",
+    "NonIdealStorage",
+    "OraclePredictor",
+    "ProfilePredictor",
+    "ScaledSource",
+    "SolarStochasticSource",
+    "TraceSource",
+]

@@ -1,0 +1,254 @@
+"""Harvested-energy predictors.
+
+The schedulers need the paper's ``ES(am, am + dm)`` — the energy that will
+be harvested between a job's release and its deadline.  The true future is
+unknowable online; section 5.1 states "we trace the PS(t) profile to
+predict the harvested energy from a future period" (following Kansal et
+al.).  This module provides that profile predictor plus simpler baselines
+and an oracle for ablation:
+
+* :class:`OraclePredictor` — reads the realized future from the source
+  (an upper bound on what any predictor can achieve).
+* :class:`ProfilePredictor` — per-bin EWMA over the source's (known or
+  assumed) cycle, the "trace the profile" approach.
+* :class:`MeanPowerPredictor` — a single EWMA of mean power.
+* :class:`LastValuePredictor` — persistence forecast.
+
+Predictors learn from :meth:`~HarvestPredictor.observe` calls the simulator
+issues for every elapsed segment, so prediction quality improves as the run
+progresses.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.energy.source import SOLAR_ENVELOPE_PERIOD, EnergySource
+from repro.timeutils import EPSILON, validate_interval
+
+__all__ = [
+    "HarvestPredictor",
+    "OraclePredictor",
+    "ProfilePredictor",
+    "MeanPowerPredictor",
+    "LastValuePredictor",
+]
+
+
+class HarvestPredictor(abc.ABC):
+    """Interface for online predictors of future harvested energy."""
+
+    @abc.abstractmethod
+    def predict_energy(self, t0: float, t1: float) -> float:
+        """Predicted harvest over ``[t0, t1]`` (must be ``>= 0``)."""
+
+    def observe(self, t0: float, t1: float, energy: float) -> None:
+        """Feed the realized harvest over an elapsed segment.
+
+        The default implementation ignores observations (appropriate for
+        the oracle).  ``energy`` is the exact integral of the realized
+        power over ``[t0, t1]``.
+        """
+
+    def reset(self) -> None:
+        """Discard learned state (no-op by default)."""
+
+
+class OraclePredictor(HarvestPredictor):
+    """Perfect prediction: reads the future directly from the source.
+
+    Useful to separate scheduling quality from prediction quality in
+    ablations, and for the deterministic motivational examples where the
+    paper itself assumes the future harvest is known.
+    """
+
+    def __init__(self, source: EnergySource) -> None:
+        self._source = source
+
+    def predict_energy(self, t0: float, t1: float) -> float:
+        return self._source.energy(t0, t1)
+
+    def __repr__(self) -> str:
+        return f"OraclePredictor({self._source!r})"
+
+
+class MeanPowerPredictor(HarvestPredictor):
+    """Exponentially weighted running mean of observed power.
+
+    ``alpha`` is the EWMA weight per observed *time unit* — observations of
+    different lengths are folded in with a duration-correct decay
+    ``(1 - alpha) ** duration``, so feeding one 10-unit segment equals
+    feeding ten 1-unit segments with the same average power.
+    """
+
+    def __init__(self, initial_power: float = 0.0, alpha: float = 0.05) -> None:
+        if initial_power < 0 or not math.isfinite(initial_power):
+            raise ValueError(
+                f"initial_power must be finite and >= 0, got {initial_power!r}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha!r}")
+        self._initial = float(initial_power)
+        self._alpha = float(alpha)
+        self._estimate = self._initial
+
+    @property
+    def estimate(self) -> float:
+        """Current mean-power estimate."""
+        return self._estimate
+
+    def predict_energy(self, t0: float, t1: float) -> float:
+        validate_interval(t0, t1)
+        return self._estimate * max(0.0, t1 - t0)
+
+    def observe(self, t0: float, t1: float, energy: float) -> None:
+        validate_interval(t0, t1)
+        duration = t1 - t0
+        if duration <= EPSILON:
+            return
+        mean_power = max(0.0, energy / duration)
+        keep = (1.0 - self._alpha) ** duration
+        self._estimate = keep * self._estimate + (1.0 - keep) * mean_power
+
+    def reset(self) -> None:
+        self._estimate = self._initial
+
+    def __repr__(self) -> str:
+        return (
+            f"MeanPowerPredictor(initial_power={self._initial!r}, "
+            f"alpha={self._alpha!r})"
+        )
+
+
+class LastValuePredictor(HarvestPredictor):
+    """Persistence forecast: the most recent observed power continues."""
+
+    def __init__(self, initial_power: float = 0.0) -> None:
+        if initial_power < 0 or not math.isfinite(initial_power):
+            raise ValueError(
+                f"initial_power must be finite and >= 0, got {initial_power!r}"
+            )
+        self._initial = float(initial_power)
+        self._last = self._initial
+
+    def predict_energy(self, t0: float, t1: float) -> float:
+        validate_interval(t0, t1)
+        return self._last * max(0.0, t1 - t0)
+
+    def observe(self, t0: float, t1: float, energy: float) -> None:
+        validate_interval(t0, t1)
+        duration = t1 - t0
+        if duration <= EPSILON:
+            return
+        self._last = max(0.0, energy / duration)
+
+    def reset(self) -> None:
+        self._last = self._initial
+
+    def __repr__(self) -> str:
+        return f"LastValuePredictor(initial_power={self._initial!r})"
+
+
+class ProfilePredictor(HarvestPredictor):
+    """Cyclic-profile EWMA predictor ("trace the PS(t) profile").
+
+    The source is assumed (approximately) cyclostationary with period
+    ``period`` — true for the paper's eq. (13) source, whose deterministic
+    envelope repeats every ``70 pi^2 ~ 690.9`` time units.  The period is
+    split into ``n_bins`` equal bins, each holding an EWMA estimate of the
+    mean power seen at that cycle position.  Prediction integrates the bin
+    estimates across the query window exactly (partial bins pro-rated).
+
+    Bins that have never been observed fall back to ``initial_power``.
+    """
+
+    def __init__(
+        self,
+        period: float = SOLAR_ENVELOPE_PERIOD,
+        n_bins: int = 64,
+        alpha: float = 0.3,
+        initial_power: float = 0.0,
+    ) -> None:
+        if period <= 0 or not math.isfinite(period):
+            raise ValueError(f"period must be finite and > 0, got {period!r}")
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins!r}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha!r}")
+        if initial_power < 0 or not math.isfinite(initial_power):
+            raise ValueError(
+                f"initial_power must be finite and >= 0, got {initial_power!r}"
+            )
+        self._period = float(period)
+        self._n_bins = int(n_bins)
+        self._alpha = float(alpha)
+        self._initial = float(initial_power)
+        self._bin_width = self._period / self._n_bins
+        self._estimates = np.full(self._n_bins, self._initial, dtype=float)
+        self._seen = np.zeros(self._n_bins, dtype=bool)
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @property
+    def n_bins(self) -> int:
+        return self._n_bins
+
+    def bin_estimates(self) -> np.ndarray:
+        """Copy of the per-bin mean-power estimates (for inspection)."""
+        return self._estimates.copy()
+
+    def _segments(self, t0: float, t1: float):
+        """Yield ``(bin_index, duration)`` covering ``[t0, t1]`` exactly."""
+        t = t0
+        while t < t1 - EPSILON:
+            position = t % self._period
+            index = min(int(position / self._bin_width), self._n_bins - 1)
+            bin_end = t + (self._bin_width - (position - index * self._bin_width))
+            segment_end = min(bin_end, t1)
+            if segment_end <= t + EPSILON:
+                # Guard against float stagnation right at a bin edge.
+                segment_end = min(t + EPSILON * 2, t1)
+            yield index, segment_end - t
+            t = segment_end
+
+    def predict_energy(self, t0: float, t1: float) -> float:
+        validate_interval(t0, t1)
+        if t1 - t0 <= EPSILON:
+            return 0.0
+        return float(
+            sum(self._estimates[i] * d for i, d in self._segments(t0, t1))
+        )
+
+    def observe(self, t0: float, t1: float, energy: float) -> None:
+        validate_interval(t0, t1)
+        duration = t1 - t0
+        if duration <= EPSILON:
+            return
+        mean_power = max(0.0, energy / duration)
+        for index, d in self._segments(t0, t1):
+            # Duration-correct EWMA: a bin fully covered for one bin-width
+            # moves by weight alpha; shorter coverage moves proportionally
+            # less.
+            keep = (1.0 - self._alpha) ** (d / self._bin_width)
+            if not self._seen[index]:
+                self._estimates[index] = mean_power
+                self._seen[index] = True
+            else:
+                self._estimates[index] = (
+                    keep * self._estimates[index] + (1.0 - keep) * mean_power
+                )
+
+    def reset(self) -> None:
+        self._estimates.fill(self._initial)
+        self._seen.fill(False)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfilePredictor(period={self._period!r}, n_bins={self._n_bins}, "
+            f"alpha={self._alpha!r})"
+        )

@@ -1,0 +1,123 @@
+"""Experiment harness: one module per reproduced figure/table.
+
+:data:`EXPERIMENTS` maps experiment ids (``fig5`` ... ``table1``) to
+runner callables returning an object with a ``format_text()`` method; the
+CLI and the benchmark suite both go through this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments.ablations import (
+    AblationResult,
+    run_aet_ablation,
+    run_dvfs_granularity_ablation,
+    run_nonideal_storage_ablation,
+    run_overflow_aware_ablation,
+    run_predictor_ablation,
+    run_rectification_ablation,
+    run_switch_overhead_ablation,
+    run_weather_ablation,
+)
+from repro.experiments.common import PaperSetup, replications, scale_factor
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6_fig7 import (
+    PAPER_CAPACITIES,
+    RemainingEnergyResult,
+    run_fig6,
+    run_fig7,
+)
+from repro.experiments.fig8_fig9 import (
+    MissRateResult,
+    run_fig8,
+    run_fig9,
+    run_miss_rate_sweep,
+)
+from repro.experiments.motivation import (
+    MotivationOutcome,
+    run_motivational_example,
+    run_stretch_example,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "AblationResult",
+    "EXPERIMENTS",
+    "Fig5Result",
+    "MissRateResult",
+    "MotivationOutcome",
+    "PAPER_CAPACITIES",
+    "PaperSetup",
+    "RemainingEnergyResult",
+    "Table1Result",
+    "replications",
+    "run_aet_ablation",
+    "run_dvfs_granularity_ablation",
+    "run_experiment",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_miss_rate_sweep",
+    "run_motivational_example",
+    "run_nonideal_storage_ablation",
+    "run_overflow_aware_ablation",
+    "run_predictor_ablation",
+    "run_rectification_ablation",
+    "run_stretch_example",
+    "run_switch_overhead_ablation",
+    "run_table1",
+    "run_weather_ablation",
+    "scale_factor",
+]
+
+
+class _MotivationBundle:
+    """Both worked examples across the relevant schedulers."""
+
+    def __init__(self) -> None:
+        self.fig1 = [
+            run_motivational_example(name) for name in ("lsa", "ea-dvfs", "edf")
+        ]
+        self.fig3 = [
+            run_stretch_example(name) for name in ("ea-dvfs", "stretch-edf")
+        ]
+
+    def format_text(self) -> str:
+        lines = ["Section 2 / Figure 1 example (tau2 deadline 21):"]
+        lines += ["  " + o.format_text() for o in self.fig1]
+        lines.append("Section 4.3 / Figure 3 example (tau2 deadline 17):")
+        lines += ["  " + o.format_text() for o in self.fig3]
+        return "\n".join(lines)
+
+
+EXPERIMENTS: dict[str, Callable[[], Any]] = {
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "table1": run_table1,
+    "motivation": _MotivationBundle,
+    "ablation-predictor": run_predictor_ablation,
+    "ablation-rectification": run_rectification_ablation,
+    "ablation-switch-overhead": run_switch_overhead_ablation,
+    "ablation-nonideal-storage": run_nonideal_storage_ablation,
+    "ablation-dvfs-granularity": run_dvfs_granularity_ablation,
+    "ablation-weather": run_weather_ablation,
+    "ablation-overflow-aware": run_overflow_aware_ablation,
+    "ablation-aet": run_aet_ablation,
+}
+
+
+def run_experiment(name: str) -> Any:
+    """Run a registered experiment by id."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()

@@ -1,0 +1,64 @@
+"""Figure 5 — behavior of the stochastic solar energy source (eq. (13))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import PaperSetup
+from repro.plotting import ascii_plot
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Sampled source power over the simulation horizon."""
+
+    times: np.ndarray
+    powers: np.ndarray
+    mean_power: float
+    analytic_mean: float
+    peak_power: float
+
+    def format_text(self, plot_window: float = 5_000.0) -> str:
+        mask = self.times < plot_window
+        chart = ascii_plot(
+            {"PS(t)": (self.times[mask], self.powers[mask])},
+            title="Figure 5: energy source behavior (eq. 13)",
+            xlabel="time",
+            ylabel="PS(t)",
+            y_min=0.0,
+        )
+        stats = (
+            f"samples={self.times.size} mean={self.mean_power:.3f} "
+            f"(analytic {self.analytic_mean:.3f}) peak={self.peak_power:.2f}"
+        )
+        return f"{chart}\n{stats}"
+
+
+def run_fig5(
+    setup: PaperSetup | None = None,
+    seed: int = 0,
+    horizon: float | None = None,
+    step: float = 1.0,
+) -> Fig5Result:
+    """Sample one realization of the paper's energy source.
+
+    The paper plots ~10,000 time units with peaks around 20 and dense
+    mass between 0 and 15; the reproduced statistics (mean ~4 with the
+    ``abs`` rectification) are reported alongside.
+    """
+    setup = setup or PaperSetup()
+    source = setup.source(seed)
+    end = setup.horizon if horizon is None else horizon
+    times = np.arange(0.0, end, step)
+    powers = source.sample(0.0, end, step)
+    return Fig5Result(
+        times=times,
+        powers=powers,
+        mean_power=float(powers.mean()),
+        analytic_mean=source.mean_power(),
+        peak_power=float(powers.max()),
+    )

@@ -1,0 +1,149 @@
+"""Terminal (ASCII) plotting.
+
+matplotlib is not available in the offline environment, so the experiment
+harness renders its figures as Unicode line charts directly in the
+terminal.  This is intentionally simple: scatter the series onto a
+character grid, add axes, ticks and a legend.  Good enough to eyeball the
+*shape* of every reproduced figure next to the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_histogram"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2g}"
+    return f"{value:.3g}"
+
+
+def ascii_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render named ``(x, y)`` series as a Unicode line chart.
+
+    Each series gets a marker from a fixed cycle; the legend maps markers
+    back to names.  Returns the chart as a single string.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+
+    arrays = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=float)
+        y = np.asarray(ys, dtype=float)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError(f"series {name!r}: x and y must be equal-length 1-D")
+        if x.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        mask = np.isfinite(x) & np.isfinite(y)
+        if not mask.any():
+            raise ValueError(f"series {name!r} has no finite points")
+        arrays[name] = (x[mask], y[mask])
+
+    all_x = np.concatenate([x for x, _ in arrays.values()])
+    all_y = np.concatenate([y for _, y in arrays.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo = float(all_y.min()) if y_min is None else y_min
+    y_hi = float(all_y.max()) if y_max is None else y_max
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    legend = []
+    for idx, (name, (x, y)) in enumerate(arrays.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        order = np.argsort(x)
+        x, y = x[order], y[order]
+        # Dense resampling so lines look connected even with few points.
+        cols = np.arange(width)
+        xs_dense = x_lo + cols / (width - 1) * (x_hi - x_lo)
+        within = (xs_dense >= x.min()) & (xs_dense <= x.max())
+        ys_dense = np.interp(xs_dense[within], x, y)
+        for c, yv in zip(cols[within], ys_dense):
+            r = to_row(float(yv))
+            if grid[r][c] == " " or grid[r][c] == ".":
+                grid[r][c] = "."
+        for xv, yv in zip(x, y):
+            grid[to_row(float(yv))][to_col(float(xv))] = marker
+
+    y_label_width = max(
+        len(_format_tick(y_lo)), len(_format_tick(y_hi)), len(ylabel)
+    )
+    lines = []
+    if title:
+        lines.append(" " * (y_label_width + 2) + title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = _format_tick(y_hi)
+        elif r == height - 1:
+            label = _format_tick(y_lo)
+        elif r == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{y_label_width}} |" + "".join(row))
+    lines.append(" " * y_label_width + " +" + "-" * width)
+    x_axis = (
+        f"{_format_tick(x_lo)}"
+        + " " * max(1, width - len(_format_tick(x_lo)) - len(_format_tick(x_hi)))
+        + _format_tick(x_hi)
+    )
+    lines.append(" " * (y_label_width + 2) + x_axis)
+    if xlabel:
+        pad = max(0, (width - len(xlabel)) // 2)
+        lines.append(" " * (y_label_width + 2 + pad) + xlabel)
+    lines.append(" " * (y_label_width + 2) + "    ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal-bar histogram of a sample."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ValueError("nothing to histogram")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be >= 1")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(1, counts.max())
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{lo:10.3g}, {hi:10.3g}) {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Schedulers: shared decision API plus the baseline policies.
+
+The paper's contribution (EA-DVFS) lives in :mod:`repro.core`; this
+package hosts the framework and the baselines it is compared against:
+
+* :class:`~repro.sched.edf.GreedyEdfScheduler` — energy-oblivious EDF at
+  full speed (what a system without energy management does);
+* :class:`~repro.sched.edf.StretchEdfScheduler` — DVFS-only EDF that
+  stretches every job to its deadline window, ignoring energy state;
+* :class:`~repro.sched.lsa.LazyScheduler` — the Lazy Scheduling Algorithm
+  (LSA) of Moser et al. [7, 10], the paper's primary baseline.
+"""
+
+from repro.sched.base import Decision, EnergyOutlook, Scheduler
+from repro.sched.edf import GreedyEdfScheduler, StretchEdfScheduler
+from repro.sched.lsa import LazyScheduler
+from repro.sched.registry import available_schedulers, make_scheduler
+
+# NOTE: repro.sched.extensions builds on repro.core (which itself imports
+# repro.sched.base), so it is exported from the top-level ``repro``
+# package rather than here to keep the import graph acyclic.
+
+__all__ = [
+    "Decision",
+    "EnergyOutlook",
+    "GreedyEdfScheduler",
+    "LazyScheduler",
+    "Scheduler",
+    "StretchEdfScheduler",
+    "available_schedulers",
+    "make_scheduler",
+]

@@ -1,0 +1,171 @@
+"""Scheduler framework: the decision protocol between scheduler and simulator.
+
+The simulator invokes :meth:`Scheduler.decide` at every scheduling point
+(job release, completion, deadline miss, stall resume, or a scheduler's own
+``reconsider_at`` wake-up).  The scheduler inspects the EDF ready queue and
+an :class:`EnergyOutlook` (stored energy plus predicted harvest) and
+returns a :class:`Decision`:
+
+* ``job=None`` — stay idle; wake the scheduler again at ``reconsider_at``
+  (the energy-aware policies use this to implement "do not start before
+  ``s1``/``s*``");
+* ``job`` at ``level`` — dispatch; if ``switch_to_max_at`` is set, the
+  simulator raises the job to full speed at that instant *without*
+  re-invoking the scheduler (EA-DVFS's "run at ``f_n`` in ``[s1, s2)``,
+  full speed afterwards" — the plan is an atomic commitment, exactly as in
+  the paper's Figure 4).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+from repro.cpu.dvfs import FrequencyLevel, FrequencyScale
+from repro.energy.predictor import HarvestPredictor
+from repro.energy.storage import EnergyStorage
+from repro.tasks.job import Job
+from repro.tasks.queue import EdfReadyQueue
+from repro.timeutils import INFINITY
+
+__all__ = ["EnergyOutlook", "Decision", "Scheduler"]
+
+
+class EnergyOutlook:
+    """The scheduler's view of the energy subsystem.
+
+    Combines the exactly-known stored energy ``EC(t)`` with the
+    *predicted* future harvest ``ÊS(t0, t1)``; the paper's "available
+    energy" ``EC(a_m) + ES(a_m, a_m + d_m)`` is :meth:`available_until`.
+    """
+
+    def __init__(self, storage: EnergyStorage, predictor: HarvestPredictor) -> None:
+        self._storage = storage
+        self._predictor = predictor
+
+    @property
+    def stored(self) -> float:
+        """Current stored energy ``EC(t)`` (may be ``inf``)."""
+        return self._storage.stored
+
+    @property
+    def capacity(self) -> float:
+        return self._storage.capacity
+
+    @property
+    def storage_is_full(self) -> bool:
+        return self._storage.is_full
+
+    def predict_energy(self, t0: float, t1: float) -> float:
+        """Predicted harvest ``ÊS(t0, t1)``."""
+        return self._predictor.predict_energy(t0, t1)
+
+    def available_until(self, now: float, until: float) -> float:
+        """``EC(now) + ÊS(now, until)`` — the paper's available energy.
+
+        ``until`` may precede ``now`` (a job past its deadline under the
+        CONTINUE miss policy); the future-harvest term is then zero.
+        """
+        if math.isinf(self._storage.stored):
+            return INFINITY
+        if until <= now:
+            return self._storage.stored
+        return self._storage.stored + self._predictor.predict_energy(now, until)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What the processor should do starting now.
+
+    Attributes
+    ----------
+    job:
+        Job to dispatch, or ``None`` to idle.
+    level:
+        DVFS level to run at (required when ``job`` is set).
+    switch_to_max_at:
+        Optional instant at which the simulator autonomously raises the
+        job to full speed (EA-DVFS's ``s2``).  Must be strictly in the
+        future and the chosen ``level`` must be below full speed.
+    reconsider_at:
+        Wake the scheduler at this time even if nothing else happens.
+        ``inf`` means "only on external events".
+    """
+
+    job: Optional[Job] = None
+    level: Optional[FrequencyLevel] = None
+    switch_to_max_at: Optional[float] = None
+    reconsider_at: float = INFINITY
+
+    def __post_init__(self) -> None:
+        if self.job is None:
+            if self.level is not None or self.switch_to_max_at is not None:
+                raise ValueError("an idle decision cannot carry a level or switch")
+        else:
+            if self.level is None:
+                raise ValueError("a dispatch decision requires a level")
+        if math.isnan(self.reconsider_at):
+            raise ValueError("reconsider_at is NaN")
+
+    @property
+    def is_idle(self) -> bool:
+        return self.job is None
+
+    @classmethod
+    def idle(cls, reconsider_at: float = INFINITY) -> "Decision":
+        """Idle decision, optionally with a wake-up time."""
+        return cls(job=None, level=None, reconsider_at=reconsider_at)
+
+    @classmethod
+    def run(
+        cls,
+        job: Job,
+        level: FrequencyLevel,
+        switch_to_max_at: Optional[float] = None,
+        reconsider_at: float = INFINITY,
+    ) -> "Decision":
+        """Dispatch decision."""
+        return cls(
+            job=job,
+            level=level,
+            switch_to_max_at=switch_to_max_at,
+            reconsider_at=reconsider_at,
+        )
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies.
+
+    Concrete schedulers are stateless with respect to the simulation (all
+    runtime state lives in the simulator, queue and jobs), which keeps one
+    scheduler instance reusable across runs of the same configuration.
+    """
+
+    #: Short identifier used by the registry, CLI and result tables.
+    name: ClassVar[str] = "base"
+
+    def __init__(self, scale: FrequencyScale) -> None:
+        self._scale = scale
+
+    @property
+    def scale(self) -> FrequencyScale:
+        return self._scale
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        now: float,
+        ready: EdfReadyQueue,
+        outlook: EnergyOutlook,
+    ) -> Decision:
+        """Pick the action starting at ``now``.
+
+        ``ready`` holds only unfinished, released jobs; the EDF-earliest
+        job is ``ready.peek()``.  Implementations must return an idle
+        decision when the queue is empty.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(scale={self._scale!r})"

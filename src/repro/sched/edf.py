@@ -1,0 +1,69 @@
+"""Energy-oblivious EDF baselines.
+
+:class:`GreedyEdfScheduler` is "classic" EDF at full speed: dispatch the
+earliest-deadline job immediately, ignore the energy state entirely.  With
+infinite energy it is optimal (Liu & Layland); with a finite harvested
+budget it squanders slack — exactly the failure mode the paper's
+motivational example illustrates — and stalls whenever the storage runs
+dry.
+
+:class:`StretchEdfScheduler` is the opposite corner: a DVFS-only policy
+that always stretches the current job to its deadline window (the classic
+"static slowdown" idea of Yao et al. [12] applied greedily), again without
+consulting the energy state.  It saves energy when utilization is low but,
+unlike EA-DVFS, it also slows down when the storage is full (wasting
+harvest, section 4.1) and has no anti-starvation switch-up.  Both serve as
+ablation endpoints around EA-DVFS.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.sched.base import Decision, EnergyOutlook, Scheduler
+from repro.tasks.queue import EdfReadyQueue
+
+__all__ = ["GreedyEdfScheduler", "StretchEdfScheduler"]
+
+
+class GreedyEdfScheduler(Scheduler):
+    """Plain preemptive EDF at full speed, blind to energy."""
+
+    name: ClassVar[str] = "edf"
+
+    def decide(
+        self,
+        now: float,
+        ready: EdfReadyQueue,
+        outlook: EnergyOutlook,
+    ) -> Decision:
+        job = ready.peek()
+        if job is None:
+            return Decision.idle()
+        return Decision.run(job, self._scale.max_level)
+
+
+class StretchEdfScheduler(Scheduler):
+    """Preemptive EDF always running at the minimum feasible level.
+
+    The chosen level satisfies inequality (6) for the *remaining* work of
+    the earliest-deadline job; when nothing fits, full speed is a best
+    effort.  Energy state is never consulted.
+    """
+
+    name: ClassVar[str] = "stretch-edf"
+
+    def decide(
+        self,
+        now: float,
+        ready: EdfReadyQueue,
+        outlook: EnergyOutlook,
+    ) -> Decision:
+        job = ready.peek()
+        if job is None:
+            return Decision.idle()
+        window = job.absolute_deadline - now
+        level = self._scale.min_feasible_level(job.remaining_work, window)
+        if level is None:
+            level = self._scale.max_level
+        return Decision.run(job, level)

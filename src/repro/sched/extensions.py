@@ -1,0 +1,98 @@
+"""Scheduler extensions beyond the paper (clearly marked as such).
+
+:class:`OverflowAwareEaDvfsScheduler` generalizes the paper's section 4.1
+observation.  EA-DVFS already runs at full speed when the storage *is*
+full (saved energy could not be banked anyway); the extension also
+reacts when the storage is merely *about to clip*: if executing the
+selected job at the planned slow level would let the predicted harvest
+overflow the remaining headroom before the job's deadline, the level is
+raised until the predicted overflow vanishes.  Energy consumed during an
+overflow episode is free — it would have been discarded — so trading it
+for earlier completion can only help future jobs.
+
+This is an original extension in the spirit of later harvesting-aware
+DVFS work; it is *not* part of the DATE 2008 algorithm and is therefore
+registered under a separate name (``ea-dvfs-oa``) and evaluated as an
+ablation (``benchmarks/bench_ablation_overflow_aware.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar
+
+from repro.core.ea_dvfs import EaDvfsScheduler
+from repro.cpu.dvfs import FrequencyLevel
+from repro.sched.base import Decision, EnergyOutlook
+from repro.tasks.queue import EdfReadyQueue
+
+__all__ = ["OverflowAwareEaDvfsScheduler"]
+
+
+class OverflowAwareEaDvfsScheduler(EaDvfsScheduler):
+    """EA-DVFS plus predicted-overflow avoidance (extension)."""
+
+    name: ClassVar[str] = "ea-dvfs-oa"
+
+    def _predicted_overflow(
+        self,
+        now: float,
+        deadline: float,
+        remaining_work: float,
+        level: FrequencyLevel,
+        outlook: EnergyOutlook,
+    ) -> float:
+        """Crude single-segment overflow estimate for one level choice.
+
+        Energy that the window's predicted harvest delivers beyond both
+        the job's consumption at ``level`` and the storage headroom has
+        nowhere to go and would be discarded.
+        """
+        headroom = outlook.capacity - outlook.stored
+        if math.isinf(headroom):
+            return 0.0
+        window = max(0.0, deadline - now)
+        inflow = outlook.predict_energy(now, deadline)
+        execution = min(window, level.execution_time(remaining_work))
+        consumption = level.power * execution
+        return max(0.0, inflow - consumption - headroom)
+
+    def decide(
+        self,
+        now: float,
+        ready: EdfReadyQueue,
+        outlook: EnergyOutlook,
+    ) -> Decision:
+        decision = super().decide(now, ready, outlook)
+        if decision.is_idle or decision.job is None:
+            return decision
+        level = decision.level
+        assert level is not None
+        if level.speed >= self._scale.max_level.speed:
+            return decision
+
+        job = decision.job
+        if self._predicted_overflow(
+            now, job.absolute_deadline, job.remaining_work, level, outlook
+        ) <= 0.0:
+            return decision
+
+        # Raise the level until the predicted overflow vanishes (or full
+        # speed is reached).  The paper's anti-starvation switch point
+        # becomes moot at the raised level only when it reaches full
+        # speed; otherwise it is kept.
+        chosen = level
+        for candidate in self._scale:
+            if candidate.speed <= level.speed:
+                continue
+            chosen = candidate
+            if self._predicted_overflow(
+                now, job.absolute_deadline, job.remaining_work, candidate,
+                outlook,
+            ) <= 0.0:
+                break
+        if chosen.speed >= self._scale.max_level.speed:
+            return Decision.run(job, self._scale.max_level)
+        return Decision.run(
+            job, chosen, switch_to_max_at=decision.switch_to_max_at
+        )

@@ -1,0 +1,49 @@
+"""Lazy Scheduling Algorithm (LSA) — the paper's baseline [7, 10].
+
+Moser et al.'s rule as summarized in the paper's introduction: the
+processor always runs at full power, and the earliest-deadline ready job
+is started only once "the system is able to keep on running at the maximum
+power until the deadline of the task".  That start time is exactly the
+EA-DVFS ``s2`` (eq. (8)): ``s* = max(t, D - (EC(t) + ÊS(t, D)) / P_max)``.
+
+Starting any earlier could deplete the storage before ``D`` and strand the
+job; starting at ``s*`` leaves no artificial slack — hence "lazy".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar
+
+from repro.sched.base import Decision, EnergyOutlook, Scheduler
+from repro.tasks.queue import EdfReadyQueue
+from repro.timeutils import EPSILON
+
+__all__ = ["LazyScheduler"]
+
+
+class LazyScheduler(Scheduler):
+    """LSA: full speed always, start as late as the energy budget forces."""
+
+    name: ClassVar[str] = "lsa"
+
+    def decide(
+        self,
+        now: float,
+        ready: EdfReadyQueue,
+        outlook: EnergyOutlook,
+    ) -> Decision:
+        job = ready.peek()
+        if job is None:
+            return Decision.idle()
+
+        max_level = self._scale.max_level
+        available = outlook.available_until(now, job.absolute_deadline)
+        if math.isinf(available):
+            return Decision.run(job, max_level)
+
+        sr_max = available / max_level.power
+        start = max(now, job.absolute_deadline - sr_max)
+        if start > now + EPSILON:
+            return Decision.idle(reconsider_at=start)
+        return Decision.run(job, max_level)

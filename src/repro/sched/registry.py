@@ -1,0 +1,59 @@
+"""Name-based scheduler registry used by the CLI and the sweep harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cpu.dvfs import FrequencyScale
+from repro.sched.base import Scheduler
+
+__all__ = ["available_schedulers", "make_scheduler", "register_scheduler"]
+
+_FACTORIES: dict[str, Callable[[FrequencyScale], Scheduler]] = {}
+
+
+def register_scheduler(
+    name: str, factory: Callable[[FrequencyScale], Scheduler]
+) -> None:
+    """Register a scheduler factory under a unique name."""
+    if name in _FACTORIES:
+        raise ValueError(f"scheduler {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Registered scheduler names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_FACTORIES))
+
+
+def make_scheduler(name: str, scale: FrequencyScale) -> Scheduler:
+    """Instantiate a registered scheduler for the given frequency scale."""
+    _ensure_builtins()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+    return factory(scale)
+
+
+def _ensure_builtins() -> None:
+    """Lazily register the built-in policies (avoids import cycles)."""
+    if _FACTORIES:
+        return
+    from repro.core.ea_dvfs import EaDvfsScheduler
+    from repro.sched.edf import GreedyEdfScheduler, StretchEdfScheduler
+    from repro.sched.extensions import OverflowAwareEaDvfsScheduler
+    from repro.sched.lsa import LazyScheduler
+
+    _FACTORIES.update(
+        {
+            EaDvfsScheduler.name: EaDvfsScheduler,
+            LazyScheduler.name: LazyScheduler,
+            GreedyEdfScheduler.name: GreedyEdfScheduler,
+            StretchEdfScheduler.name: StretchEdfScheduler,
+            OverflowAwareEaDvfsScheduler.name: OverflowAwareEaDvfsScheduler,
+        }
+    )

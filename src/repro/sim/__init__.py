@@ -1,0 +1,39 @@
+"""Discrete-event simulation layer.
+
+:mod:`repro.sim.engine`
+    A small, deterministic discrete-event kernel (event heap + clock).
+:mod:`repro.sim.tracing`
+    Typed trace recording for simulation runs.
+:mod:`repro.sim.simulator`
+    The energy-harvesting real-time system simulator that binds the energy
+    subsystem, the CPU model and a scheduler together.
+"""
+
+from repro.sim.engine import EventQueue, ScheduledEvent, SimulationClock
+from repro.sim.schedule_view import (
+    ExecutionInterval,
+    render_gantt,
+    schedule_intervals,
+)
+from repro.sim.simulator import (
+    DeadlineMissPolicy,
+    HarvestingRtSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.sim.tracing import Trace, TraceRecord
+
+__all__ = [
+    "DeadlineMissPolicy",
+    "EventQueue",
+    "ExecutionInterval",
+    "HarvestingRtSimulator",
+    "ScheduledEvent",
+    "SimulationClock",
+    "SimulationConfig",
+    "SimulationResult",
+    "Trace",
+    "TraceRecord",
+    "render_gantt",
+    "schedule_intervals",
+]

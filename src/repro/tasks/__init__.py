@@ -1,0 +1,23 @@
+"""Real-time task model: tasks, jobs, ready queue and workload generation."""
+
+from repro.tasks.job import Job, JobState
+from repro.tasks.queue import EdfReadyQueue
+from repro.tasks.task import AperiodicTask, PeriodicTask, Task, TaskSet
+from repro.tasks.workload import (
+    generate_paper_taskset,
+    generate_uunifast_taskset,
+    scale_to_utilization,
+)
+
+__all__ = [
+    "AperiodicTask",
+    "EdfReadyQueue",
+    "Job",
+    "JobState",
+    "PeriodicTask",
+    "Task",
+    "TaskSet",
+    "generate_paper_taskset",
+    "generate_uunifast_taskset",
+    "scale_to_utilization",
+]

@@ -1,0 +1,260 @@
+"""Job instances — the runtime unit the scheduler actually dispatches.
+
+A :class:`Job` is one release of a task: an absolute release time, an
+absolute deadline, a work budget expressed in *full-speed execution time*,
+and mutable progress state.  Executing for wall-clock time ``dt`` at
+relative speed ``S`` consumes ``S * dt`` of the budget (section 3.3: a job
+with WCET ``w`` at ``f_max`` needs ``w / S_n`` at ``f_n``).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.timeutils import EPSILON, snap_nonnegative
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.tasks.task import Task
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job."""
+
+    PENDING = "pending"  # created, not yet released
+    READY = "ready"  # released, waiting or executing
+    COMPLETED = "completed"
+    MISSED = "missed"  # reached its deadline unfinished
+
+
+class Job:
+    """One released instance of a task."""
+
+    __slots__ = (
+        "_task",
+        "_release",
+        "_deadline",
+        "_wcet",
+        "_actual",
+        "_index",
+        "_remaining",
+        "_remaining_actual",
+        "_state",
+        "_completion_time",
+        "_first_start_time",
+        "_energy_consumed",
+    )
+
+    def __init__(
+        self,
+        task: "Task",
+        release: float,
+        absolute_deadline: float,
+        wcet: float,
+        index: int = 0,
+        actual_work: Optional[float] = None,
+    ) -> None:
+        if release < 0 or not math.isfinite(release):
+            raise ValueError(f"release must be finite and >= 0, got {release!r}")
+        if absolute_deadline <= release:
+            raise ValueError(
+                f"deadline {absolute_deadline!r} must follow release {release!r}"
+            )
+        if wcet <= 0 or not math.isfinite(wcet):
+            raise ValueError(f"wcet must be finite and > 0, got {wcet!r}")
+        if actual_work is None:
+            actual_work = wcet
+        if not 0.0 < actual_work <= wcet + EPSILON:
+            raise ValueError(
+                f"actual work must lie in (0, wcet={wcet!r}], got {actual_work!r}"
+            )
+        self._task = task
+        self._release = float(release)
+        self._deadline = float(absolute_deadline)
+        self._wcet = float(wcet)
+        self._actual = min(float(actual_work), float(wcet))
+        self._index = int(index)
+        self._remaining = float(wcet)
+        self._remaining_actual = self._actual
+        self._state = JobState.PENDING
+        self._completion_time: Optional[float] = None
+        self._first_start_time: Optional[float] = None
+        self._energy_consumed = 0.0
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def task(self) -> "Task":
+        return self._task
+
+    @property
+    def name(self) -> str:
+        """Stable, human-readable job identifier, e.g. ``task3#12``."""
+        return f"{self._task.name}#{self._index}"
+
+    @property
+    def index(self) -> int:
+        """Per-task release counter (0 for the first job)."""
+        return self._index
+
+    # -- static parameters -----------------------------------------------------
+
+    @property
+    def release(self) -> float:
+        """Absolute release (arrival) time ``a_m``."""
+        return self._release
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Absolute deadline ``a_m + d_m``."""
+        return self._deadline
+
+    @property
+    def relative_deadline(self) -> float:
+        return self._deadline - self._release
+
+    @property
+    def wcet(self) -> float:
+        """Worst-case work budget in full-speed execution time."""
+        return self._wcet
+
+    @property
+    def actual_work(self) -> float:
+        """True execution demand (<= wcet; equal by default).
+
+        Online schedulers must not read this — they plan against
+        :attr:`remaining_work` (the worst-case bound, which is all a real
+        system knows before the job finishes).  The simulator uses it to
+        complete jobs that run shorter than their WCET.
+        """
+        return self._actual
+
+    # -- runtime state -----------------------------------------------------------
+
+    @property
+    def state(self) -> JobState:
+        return self._state
+
+    @property
+    def remaining_work(self) -> float:
+        """Unfinished *worst-case* work — what online schedulers plan by."""
+        return self._remaining
+
+    @property
+    def remaining_actual_work(self) -> float:
+        """Unfinished true work (simulator-internal; hits 0 at completion)."""
+        return self._remaining_actual
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the true demand completed, in ``[0, 1]``."""
+        return 1.0 - self._remaining_actual / self._actual
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether the job left the system (completed or missed)."""
+        return self._state in (JobState.COMPLETED, JobState.MISSED)
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        return self._completion_time
+
+    @property
+    def first_start_time(self) -> Optional[float]:
+        """When the job first occupied the processor (``None`` if never)."""
+        return self._first_start_time
+
+    @property
+    def energy_consumed(self) -> float:
+        """Energy the processor spent on this job so far."""
+        return self._energy_consumed
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion minus release, for completed jobs."""
+        if self._completion_time is None:
+            return None
+        return self._completion_time - self._release
+
+    @property
+    def lateness(self) -> Optional[float]:
+        """Completion minus deadline (negative = early), for completed jobs."""
+        if self._completion_time is None:
+            return None
+        return self._completion_time - self._deadline
+
+    # -- transitions -----------------------------------------------------------------
+
+    def mark_released(self) -> None:
+        """PENDING -> READY (the simulator calls this at the release event)."""
+        if self._state is not JobState.PENDING:
+            raise RuntimeError(f"{self.name}: mark_released in state {self._state}")
+        self._state = JobState.READY
+
+    def note_started(self, time: float) -> None:
+        """Record the first dispatch instant (idempotent)."""
+        if self._first_start_time is None:
+            self._first_start_time = time
+
+    def execute(self, speed: float, duration: float, power: float) -> None:
+        """Consume budget: ``speed * duration`` work, ``power * duration`` energy."""
+        if self._state is not JobState.READY:
+            raise RuntimeError(f"{self.name}: execute in state {self._state}")
+        if speed < 0 or duration < 0:
+            # speed == 0 is legal: dead time (e.g. a DVFS switch) draws
+            # power without making progress.
+            raise ValueError(
+                f"speed must be >= 0 and duration >= 0, got {speed!r}, {duration!r}"
+            )
+        work = speed * duration
+        if work > self._remaining_actual + EPSILON:
+            raise RuntimeError(
+                f"{self.name}: executed {work!r} work but only "
+                f"{self._remaining_actual!r} remained"
+            )
+        self._remaining_actual = snap_nonnegative(
+            self._remaining_actual - work, eps=1e-6
+        )
+        self._remaining = max(0.0, self._remaining - work)
+        self._energy_consumed += power * duration
+
+    def time_to_finish(self, speed: float) -> float:
+        """Wall-clock time to drain the remaining *true* work at ``speed``.
+
+        Used by the simulator to place completion events; schedulers plan
+        with :attr:`remaining_work` instead.
+        """
+        if speed <= 0:
+            raise ValueError(f"speed must be > 0, got {speed!r}")
+        return self._remaining_actual / speed
+
+    def mark_completed(self, time: float) -> None:
+        """READY -> COMPLETED once the budget is exhausted."""
+        if self._state is not JobState.READY:
+            raise RuntimeError(f"{self.name}: mark_completed in state {self._state}")
+        # The simulator treats a residual below 1e-7 work units as done
+        # (float noise from segment splitting); anything larger is a bug.
+        if self._remaining_actual > 1e-6:
+            raise RuntimeError(
+                f"{self.name}: mark_completed with "
+                f"{self._remaining_actual!r} work left"
+            )
+        self._remaining_actual = 0.0
+        self._state = JobState.COMPLETED
+        self._completion_time = time
+
+    def mark_missed(self) -> None:
+        """READY/PENDING -> MISSED (deadline passed with work outstanding)."""
+        if self.is_finished:
+            raise RuntimeError(f"{self.name}: mark_missed in state {self._state}")
+        self._state = JobState.MISSED
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.name}, release={self._release!r}, "
+            f"deadline={self._deadline!r}, wcet={self._wcet!r}, "
+            f"remaining={self._remaining_actual!r}, state={self._state.value})"
+        )

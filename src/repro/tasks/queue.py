@@ -1,0 +1,82 @@
+"""EDF ready queue.
+
+Deadline-ordered priority queue of ready jobs with deterministic
+tie-breaking (absolute deadline, then release time, then insertion order).
+Removal of arbitrary jobs (completion, deadline miss) is lazy: entries are
+flagged and skipped when they surface, keeping all operations
+O(log n) amortized.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, Optional
+
+from repro.tasks.job import Job
+
+__all__ = ["EdfReadyQueue"]
+
+
+class EdfReadyQueue:
+    """Priority queue of ready jobs ordered earliest-deadline-first."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, float, int, Job]] = []
+        self._counter = itertools.count()
+        self._members: set[int] = set()  # id() of live jobs
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __contains__(self, job: Job) -> bool:
+        return id(job) in self._members
+
+    def push(self, job: Job) -> None:
+        """Insert a ready job (re-inserting a member is an error)."""
+        if id(job) in self._members:
+            raise ValueError(f"{job.name} is already in the ready queue")
+        entry = (job.absolute_deadline, job.release, next(self._counter), job)
+        heapq.heappush(self._heap, entry)
+        self._members.add(id(job))
+
+    def remove(self, job: Job) -> None:
+        """Remove a job wherever it sits in the queue (lazy, idempotent)."""
+        self._members.discard(id(job))
+
+    def _skim(self) -> None:
+        """Drop stale heap entries until the top is a live job."""
+        while self._heap and id(self._heap[0][3]) not in self._members:
+            heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Job]:
+        """The earliest-deadline job without removing it (``None`` if empty)."""
+        self._skim()
+        if not self._heap:
+            return None
+        return self._heap[0][3]
+
+    def pop(self) -> Job:
+        """Remove and return the earliest-deadline job."""
+        self._skim()
+        if not self._heap:
+            raise IndexError("pop from an empty ready queue")
+        job = heapq.heappop(self._heap)[3]
+        self._members.discard(id(job))
+        return job
+
+    def jobs(self) -> list[Job]:
+        """Live jobs in deadline order (non-destructive snapshot)."""
+        live = [entry for entry in self._heap if id(entry[3]) in self._members]
+        live.sort()
+        return [entry[3] for entry in live]
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs())
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._members.clear()

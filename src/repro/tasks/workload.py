@@ -1,0 +1,168 @@
+"""Workload generation.
+
+:func:`generate_paper_taskset` reproduces the generator of section 5.1:
+
+* the number of periodic tasks is a parameter (the paper shows 5);
+* each period is drawn uniformly from ``{10, 20, ..., 100}``;
+* the relative deadline equals the period;
+* the worst-case *energy* of a task is ``e ~ U[0, mean_harvest * p]`` and
+  its WCET is ``w = e / P_max`` (so at full speed the task consumes exactly
+  ``e``);
+* finally every WCET is scaled by a common ratio so the set hits a target
+  utilization ``U = sum(w_m / p_m)`` exactly (eq. (14)).
+
+:func:`generate_uunifast_taskset` is the standard UUniFast generator
+(Bini & Buttazzo) included as a community-standard alternative for
+sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tasks.task import PeriodicTask, TaskSet
+from repro.timeutils import EPSILON
+
+__all__ = [
+    "PAPER_PERIOD_CHOICES",
+    "generate_paper_taskset",
+    "generate_uunifast_taskset",
+    "scale_to_utilization",
+]
+
+#: Section 5.1: "the task period is chosen from a set {10, 20, 30, ..., 100}".
+PAPER_PERIOD_CHOICES: tuple[float, ...] = tuple(float(p) for p in range(10, 101, 10))
+
+
+def scale_to_utilization(taskset: TaskSet, utilization: float) -> TaskSet:
+    """Rescale all WCETs by one common ratio to hit a target utilization.
+
+    This is the paper's "we scale the worst case execution time of each
+    task in a task set in the same ratio".  Fails when the target would
+    push any single task past its deadline (``w > d``) — such a set is
+    unschedulable at any energy budget.
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(
+            f"target utilization must lie in (0, 1], got {utilization!r}"
+        )
+    current = taskset.utilization
+    if current <= 0:
+        raise ValueError("cannot scale a task set with zero utilization")
+    ratio = utilization / current
+    scaled = []
+    for task in taskset:
+        new_wcet = task.wcet * ratio
+        if new_wcet > task.relative_deadline + EPSILON:
+            raise ValueError(
+                f"scaling {task.name} to U={utilization!r} pushes its wcet "
+                f"({new_wcet!r}) past its deadline ({task.relative_deadline!r})"
+            )
+        scaled.append(task.with_wcet(min(new_wcet, task.relative_deadline)))
+    return TaskSet(scaled)
+
+
+def generate_paper_taskset(
+    n_tasks: int,
+    utilization: float,
+    mean_harvest_power: float,
+    max_power: float,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    period_choices: Sequence[float] = PAPER_PERIOD_CHOICES,
+) -> TaskSet:
+    """Random periodic task set per section 5.1, scaled to ``utilization``.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of periodic tasks (the paper's figures use 5).
+    utilization:
+        Target total utilization ``U`` in ``(0, 1]``.
+    mean_harvest_power:
+        The paper's ``P̄s`` — use ``source.mean_power()``.
+    max_power:
+        ``P_max`` of the processor scale.
+    rng / seed:
+        Provide a ``numpy`` generator, or a seed to build one; omitting
+        both yields a fresh unseeded generator.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks!r}")
+    if mean_harvest_power <= 0 or not math.isfinite(mean_harvest_power):
+        raise ValueError(
+            f"mean_harvest_power must be finite and > 0, got {mean_harvest_power!r}"
+        )
+    if max_power <= 0 or not math.isfinite(max_power):
+        raise ValueError(f"max_power must be finite and > 0, got {max_power!r}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    elif seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if not period_choices:
+        raise ValueError("period_choices must not be empty")
+
+    tasks = []
+    for i in range(n_tasks):
+        period = float(rng.choice(np.asarray(period_choices, dtype=float)))
+        # Worst-case energy e ~ U[0, P̄s * p]; resample the rare near-zero
+        # draws so the subsequent utilization scaling is well-defined.
+        energy = 0.0
+        while energy <= EPSILON:
+            energy = float(rng.uniform(0.0, mean_harvest_power * period))
+        wcet = energy / max_power
+        # Raw draws may exceed the deadline (e.g. P̄s > P_max); clip to the
+        # period — the set is rescaled to the target utilization right
+        # after, which is what determines the experiment's regime.
+        wcet = min(wcet, period)
+        tasks.append(PeriodicTask(period=period, wcet=wcet, name=f"task{i}"))
+    return scale_to_utilization(TaskSet(tasks), utilization)
+
+
+def generate_uunifast_taskset(
+    n_tasks: int,
+    utilization: float,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    period_choices: Sequence[float] = PAPER_PERIOD_CHOICES,
+) -> TaskSet:
+    """UUniFast task set: unbiased utilization split over uniform periods.
+
+    Classic generator of Bini & Buttazzo ("Measuring the performance of
+    schedulability tests", RTS 2005); included as an alternative to the
+    paper's harvest-coupled generator.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks!r}")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(
+            f"target utilization must lie in (0, 1], got {utilization!r}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    elif seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if not period_choices:
+        raise ValueError("period_choices must not be empty")
+
+    while True:  # retry until every task is individually feasible (U_i <= 1)
+        utilizations = []
+        remaining = utilization
+        for i in range(n_tasks - 1):
+            next_remaining = remaining * float(rng.random()) ** (
+                1.0 / (n_tasks - 1 - i)
+            )
+            utilizations.append(remaining - next_remaining)
+            remaining = next_remaining
+        utilizations.append(remaining)
+        if all(0.0 < u <= 1.0 for u in utilizations):
+            break
+
+    tasks = []
+    for i, u in enumerate(utilizations):
+        period = float(rng.choice(np.asarray(period_choices, dtype=float)))
+        tasks.append(PeriodicTask(period=period, wcet=u * period, name=f"task{i}"))
+    return TaskSet(tasks)

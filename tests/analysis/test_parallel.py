@@ -1,0 +1,116 @@
+"""Tests for the multi-process sweep driver."""
+
+import pytest
+
+from repro.analysis.parallel import RunSpec, parallel_miss_rates, run_parallel
+from repro.experiments.common import PaperSetup
+
+FAST_SETUP = PaperSetup(horizon=400.0)
+
+
+class TestRunParallel:
+    def test_empty(self):
+        assert run_parallel([]) == []
+
+    def test_single_spec_runs_inline(self):
+        spec = RunSpec("edf", 0.4, 50.0, 0, setup=FAST_SETUP)
+        (result,) = run_parallel([spec])
+        assert result.scheduler_name == "edf"
+        assert result.released_count > 0
+
+    def test_order_preserved(self):
+        specs = [
+            RunSpec("edf", 0.4, 50.0, 0, setup=FAST_SETUP),
+            RunSpec("lsa", 0.4, 50.0, 0, setup=FAST_SETUP),
+            RunSpec("ea-dvfs", 0.4, 50.0, 0, setup=FAST_SETUP),
+        ]
+        results = run_parallel(specs, max_workers=2)
+        assert [r.scheduler_name for r in results] == ["edf", "lsa", "ea-dvfs"]
+
+    def test_matches_serial_execution(self):
+        spec = RunSpec("lsa", 0.4, 60.0, 3, setup=FAST_SETUP)
+        serial = run_parallel([spec], max_workers=1)[0]
+        parallel = run_parallel([spec, spec], max_workers=2)[0]
+        assert parallel.missed_count == serial.missed_count
+        assert parallel.drawn_energy == pytest.approx(serial.drawn_energy)
+
+    def test_slim_strips_jobs(self):
+        spec = RunSpec("edf", 0.4, 50.0, 0, setup=FAST_SETUP)
+        slim = run_parallel([spec], slim=True)[0]
+        fat = run_parallel([spec], slim=False)[0]
+        assert slim.jobs == ()
+        assert len(fat.jobs) == fat.released_count
+        # Counters survive slimming.
+        assert slim.released_count == fat.released_count
+
+
+class TestParallelCapacitySweep:
+    def test_matches_serial_sweep(self):
+        from repro.analysis.parallel import parallel_capacity_sweep
+        from repro.analysis.sweep import run_capacity_sweep
+
+        serial = run_capacity_sweep(
+            FAST_SETUP.factory(0.4),
+            scheduler_names=("lsa", "ea-dvfs"),
+            capacities=(20.0, 80.0),
+            seeds=range(2),
+        )
+        parallel = parallel_capacity_sweep(
+            scheduler_names=("lsa", "ea-dvfs"),
+            utilization=0.4,
+            capacities=(20.0, 80.0),
+            seeds=range(2),
+            setup=FAST_SETUP,
+            max_workers=2,
+        )
+        assert len(parallel) == len(serial)
+        for p, s in zip(parallel, serial):
+            assert p.capacity == s.capacity
+            for name in ("lsa", "ea-dvfs"):
+                assert p.miss_rate(name) == pytest.approx(s.miss_rate(name))
+
+
+class TestWorkersEnv:
+    def test_default_is_one(self, monkeypatch):
+        from repro.experiments.common import workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers() == 1
+
+    def test_parsing(self, monkeypatch):
+        from repro.experiments.common import workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert workers() == 4
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ValueError, match="integer"):
+            workers()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            workers()
+
+
+class TestParallelMissRates:
+    def test_rates_per_scheduler(self):
+        rates = parallel_miss_rates(
+            scheduler_names=("lsa", "ea-dvfs"),
+            utilization=0.4,
+            capacity=30.0,
+            seeds=range(2),
+            setup=FAST_SETUP,
+            max_workers=2,
+        )
+        assert set(rates) == {"lsa", "ea-dvfs"}
+        assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+    def test_matches_serial_pooling(self):
+        kwargs = dict(
+            scheduler_names=("lsa",),
+            utilization=0.4,
+            capacity=30.0,
+            seeds=range(2),
+            setup=FAST_SETUP,
+        )
+        serial = parallel_miss_rates(max_workers=1, **kwargs)
+        parallel = parallel_miss_rates(max_workers=2, **kwargs)
+        assert parallel == serial

@@ -1,0 +1,103 @@
+"""Unit tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    mean_confidence_interval,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_renders(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert low <= 2.0 <= high
+
+    def test_zero_variance_is_degenerate(self):
+        low, high = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert low == high == 2.0
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(size=10)
+        large = rng.normal(size=1000)
+        w_small = np.diff(mean_confidence_interval(small))[0]
+        w_large = np.diff(mean_confidence_interval(large))[0]
+        assert w_large < w_small
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.0)
+
+    def test_coverage_roughly_nominal(self):
+        """~95% of intervals over repeated normal samples cover 0."""
+        rng = np.random.default_rng(7)
+        covered = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.normal(size=20)
+            low, high = mean_confidence_interval(sample, 0.95)
+            covered += low <= 0.0 <= high
+        assert covered / trials > 0.85
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_interval_ordered_and_centered(self, values):
+        low, high = mean_confidence_interval(values)
+        mean = float(np.mean(values))
+        assert low <= mean <= high
+
+
+class TestBootstrap:
+    def test_deterministic_given_seed(self):
+        data = [1.0, 5.0, 2.0, 8.0, 3.0]
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_contains_point_estimate(self):
+        data = list(np.random.default_rng(1).normal(10, 1, size=50))
+        low, high = bootstrap_ci(data, n_resamples=500)
+        assert low <= np.mean(data) <= high
+
+    def test_custom_statistic(self):
+        data = [1.0, 2.0, 100.0]
+        low, high = bootstrap_ci(data, statistic=np.median, n_resamples=200)
+        assert low <= 100.0 and low >= 1.0
+        assert high <= 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=0.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], n_resamples=0)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.presets import (
+    motivational_example_scale,
+    stretch_example_scale,
+    xscale_pxa,
+)
+from repro.energy.source import ConstantSource, SolarStochasticSource
+from repro.energy.storage import IdealStorage
+
+
+@pytest.fixture
+def xscale():
+    """The paper's five-speed XScale scale (P_max = 3.2)."""
+    return xscale_pxa()
+
+
+@pytest.fixture
+def two_speed():
+    """The section 2 motivational two-speed scale (P_max = 8)."""
+    return motivational_example_scale()
+
+
+@pytest.fixture
+def quarter_speed():
+    """The section 4.3 two-speed scale (S in {0.25, 1}, P in {1, 8})."""
+    return stretch_example_scale()
+
+
+@pytest.fixture
+def constant_source():
+    """The motivational example's constant 0.5-power source."""
+    return ConstantSource(0.5)
+
+
+@pytest.fixture
+def solar_source():
+    """A seeded realization of the paper's eq. (13) source."""
+    return SolarStochasticSource(seed=42)
+
+
+@pytest.fixture
+def small_storage():
+    """A small ideal storage starting full."""
+    return IdealStorage(capacity=100.0)

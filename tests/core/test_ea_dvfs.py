@@ -1,0 +1,124 @@
+"""Unit tests for the EA-DVFS scheduler's decision logic."""
+
+import math
+
+import pytest
+
+from repro.core.ea_dvfs import EaDvfsScheduler
+from repro.energy.predictor import OraclePredictor
+from repro.energy.source import ConstantSource
+from repro.energy.storage import IdealStorage
+from repro.sched.base import EnergyOutlook
+from repro.tasks.job import Job
+from repro.tasks.queue import EdfReadyQueue
+from repro.tasks.task import AperiodicTask
+
+
+def make_ready(*specs):
+    """Build a ready queue from (release, deadline, wcet, name) specs."""
+    queue = EdfReadyQueue()
+    for release, deadline, wcet, name in specs:
+        task = AperiodicTask(
+            arrival=release, relative_deadline=deadline - release,
+            wcet=wcet, name=name,
+        )
+        job = Job(task=task, release=release, absolute_deadline=deadline,
+                  wcet=wcet)
+        job.mark_released()
+        queue.push(job)
+    return queue
+
+
+def outlook(stored, capacity=1000.0, harvest=0.0):
+    source = ConstantSource(harvest)
+    storage = IdealStorage(capacity=capacity, initial=stored)
+    return EnergyOutlook(storage, OraclePredictor(source))
+
+
+class TestIdleBehavior:
+    def test_empty_queue_idles_forever(self, two_speed):
+        scheduler = EaDvfsScheduler(two_speed)
+        decision = scheduler.decide(0.0, EdfReadyQueue(), outlook(10.0))
+        assert decision.is_idle
+        assert decision.reconsider_at == math.inf
+
+    def test_scarce_energy_idles_until_s1(self, two_speed):
+        scheduler = EaDvfsScheduler(two_speed)
+        ready = make_ready((0.0, 16.0, 4.0, "tau1"))
+        # E_avail = 24 + 0.5 * 16 = 32 -> s1 = 4 (section 2 numbers).
+        decision = scheduler.decide(
+            0.0, ready, outlook(24.0, harvest=0.5)
+        )
+        assert decision.is_idle
+        assert decision.reconsider_at == pytest.approx(4.0)
+
+
+class TestDispatchBehavior:
+    def test_earliest_deadline_selected(self, xscale):
+        scheduler = EaDvfsScheduler(xscale)
+        ready = make_ready(
+            (0.0, 50.0, 1.0, "late"),
+            (0.0, 20.0, 1.0, "early"),
+        )
+        decision = scheduler.decide(0.0, ready, outlook(1000.0))
+        assert decision.job.task.name == "early"
+
+    def test_plentiful_energy_runs_full_speed(self, xscale):
+        scheduler = EaDvfsScheduler(xscale)
+        ready = make_ready((0.0, 20.0, 1.0, "t"))
+        decision = scheduler.decide(0.0, ready, outlook(1000.0))
+        assert decision.level.speed == 1.0
+        assert decision.switch_to_max_at is None
+
+    def test_scarce_energy_slow_phase_with_switch(self, two_speed):
+        """Section 2 at t = s1: run at S=0.5 with the switch armed at s2."""
+        scheduler = EaDvfsScheduler(two_speed)
+        ready = make_ready((0.0, 16.0, 4.0, "tau1"))
+        # At t=4 with exact prediction: E_avail = 26 + 0.5*12 = 32.
+        decision = scheduler.decide(4.0, ready, outlook(26.0, harvest=0.5))
+        assert not decision.is_idle
+        assert decision.level.speed == pytest.approx(0.5)
+        assert decision.switch_to_max_at == pytest.approx(12.0)
+
+    def test_unreachable_deadline_best_effort_full_speed(self, xscale):
+        # The job was feasible at release but the clock has advanced past
+        # the last feasible start (window 2 < remaining work 3).
+        scheduler = EaDvfsScheduler(xscale)
+        ready = make_ready((0.0, 10.0, 3.0, "doomed"))
+        decision = scheduler.decide(8.0, ready, outlook(1000.0))
+        assert decision.level.speed == 1.0
+
+
+class TestFullStorageFastPath:
+    def test_full_storage_forces_full_speed(self, two_speed):
+        """Section 4.1: a full storage means slow-down only wastes harvest."""
+        scheduler = EaDvfsScheduler(two_speed)
+        ready = make_ready((0.0, 160.0, 4.0, "t"))
+        # Storage full but tiny: without the fast path the slow-down rule
+        # would engage (E_avail = 2 + 80 = 82 < P_max * window = 1280).
+        decision = scheduler.decide(
+            0.0, ready, outlook(2.0, capacity=2.0, harvest=0.5)
+        )
+        assert decision.level.speed == 1.0
+        assert decision.switch_to_max_at is None
+
+    def test_fast_path_can_be_disabled(self, two_speed):
+        scheduler = EaDvfsScheduler(two_speed, full_storage_fast_path=False)
+        ready = make_ready((0.0, 160.0, 4.0, "t"))
+        decision = scheduler.decide(
+            0.0, ready, outlook(2.0, capacity=2.0, harvest=0.5)
+        )
+        assert decision.is_idle or decision.level.speed < 1.0
+
+
+class TestInfiniteStorage:
+    def test_behaves_like_edf(self, xscale):
+        """Section 4.3: infinite storage -> immediate full-speed dispatch."""
+        scheduler = EaDvfsScheduler(xscale)
+        storage = IdealStorage(capacity=math.inf, initial=math.inf)
+        view = EnergyOutlook(storage, OraclePredictor(ConstantSource(0.0)))
+        ready = make_ready((0.0, 20.0, 5.0, "t"))
+        decision = scheduler.decide(0.0, ready, view)
+        assert decision.job.task.name == "t"
+        assert decision.level.speed == 1.0
+        assert decision.switch_to_max_at is None

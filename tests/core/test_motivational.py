@@ -1,0 +1,100 @@
+"""End-to-end reproduction of the paper's worked examples.
+
+These tests pin the exact numbers of section 2 (Figure 1) and section 4.3
+(Figure 3) as executed by the real simulator — they are the strongest
+correctness anchors in the suite.
+"""
+
+import pytest
+
+from repro.experiments.motivation import (
+    run_motivational_example,
+    run_stretch_example,
+)
+
+
+class TestFigure1Example:
+    """tau1 = (0, 16, 4), tau2 = (5, 16, 1.5); E0 = 24, PS = 0.5, Pmax = 8."""
+
+    def test_lsa_starts_tau1_at_12_and_finishes_at_16(self):
+        """Paper: 'the system starts running task tau1 at time 12 ... and
+        finishes it at time 16. The system depletes all energy exactly at
+        time 16.'"""
+        outcome = run_motivational_example("lsa")
+        tau1 = next(j for j in outcome.result.jobs if j.task.name == "tau1")
+        assert tau1.first_start_time == pytest.approx(12.0)
+        assert tau1.completion_time == pytest.approx(16.0)
+
+    def test_lsa_misses_tau2(self):
+        """Paper: 'the deadline of task tau2 is violated because of the
+        energy shortage.'"""
+        outcome = run_motivational_example("lsa")
+        assert not outcome.tau2_met
+        assert outcome.result.missed_count == 1
+
+    def test_ea_dvfs_meets_both_deadlines(self):
+        """Paper: 'This time the system has enough available energy to
+        finish task tau2 by its deadline.'"""
+        outcome = run_motivational_example("ea-dvfs")
+        assert outcome.result.missed_count == 0
+        assert outcome.tau2_met
+
+    def test_ea_dvfs_stretches_tau1(self):
+        """EA-DVFS idles until s1 = 4 and completes tau1 exactly at s2 = 12
+        (the slow phase does all 4 work units at half speed)."""
+        outcome = run_motivational_example("ea-dvfs")
+        tau1 = next(j for j in outcome.result.jobs if j.task.name == "tau1")
+        assert tau1.first_start_time == pytest.approx(4.0)
+        assert tau1.completion_time == pytest.approx(12.0)
+
+    def test_ea_dvfs_tau1_uses_less_energy_than_lsa(self):
+        """Slow execution costs 4/0.5 * 8/3 = 21.33 < 32 = 4 * 8."""
+        ea = run_motivational_example("ea-dvfs")
+        lsa = run_motivational_example("lsa")
+        ea_tau1 = next(j for j in ea.result.jobs if j.task.name == "tau1")
+        lsa_tau1 = next(j for j in lsa.result.jobs if j.task.name == "tau1")
+        assert ea_tau1.energy_consumed == pytest.approx(8.0 * 8.0 / 3.0)
+        assert lsa_tau1.energy_consumed == pytest.approx(32.0)
+
+    def test_greedy_edf_stalls_and_misses_tau2(self):
+        """Running flat-out from t=0 drains the storage at t=3.2; tau1
+        limps to completion in harvest-powered bursts but tau2 is
+        starved."""
+        outcome = run_motivational_example("edf")
+        assert not outcome.tau2_met
+        assert outcome.result.missed_count >= 1
+        assert outcome.result.stall_count > 0
+
+
+class TestFigure3Example:
+    """tau1 = (0, 16, 4), tau2 = (5, 12, 1.5); f_n = 0.25 f_max."""
+
+    def test_ea_dvfs_switches_up_and_meets_both(self):
+        """Paper: with the s2 switch-up, tau1 finishes shortly after 13
+        and tau2 still meets its deadline of 17."""
+        outcome = run_stretch_example("ea-dvfs")
+        assert outcome.result.missed_count == 0
+        tau1 = next(j for j in outcome.result.jobs if j.task.name == "tau1")
+        # Paper narrative: finished at 13 (plan committed at t=0); our
+        # simulator re-plans when tau2 arrives at t=5, landing close by.
+        assert tau1.completion_time == pytest.approx(13.0, abs=1.0)
+        assert outcome.tau2_met
+
+    def test_greedy_stretching_starves_tau2(self):
+        """Paper: 'If task tau1 is stretched excessively, then under no
+        circumstance is the system able to finish tau2 before its
+        deadline.'"""
+        outcome = run_stretch_example("stretch-edf")
+        assert not outcome.tau2_met
+        assert outcome.result.missed_count >= 1
+
+    def test_stretch_edf_finishes_tau1_at_16(self):
+        """The greedy stretcher runs tau1 at quarter speed through its
+        whole window (completion at 16)."""
+        outcome = run_stretch_example("stretch-edf")
+        tau1 = next(j for j in outcome.result.jobs if j.task.name == "tau1")
+        assert tau1.completion_time == pytest.approx(16.0)
+
+    def test_outcome_formatting(self):
+        text = run_stretch_example("ea-dvfs").format_text()
+        assert "tau2 meets" in text

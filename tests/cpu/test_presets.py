@@ -1,0 +1,94 @@
+"""Unit tests for the processor presets."""
+
+import pytest
+
+from repro.cpu.presets import (
+    XSCALE_FREQUENCIES_MHZ,
+    XSCALE_POWERS_MW,
+    continuous_approximation,
+    motivational_example_scale,
+    stretch_example_scale,
+    two_speed_scale,
+    xscale_pxa,
+)
+
+
+class TestXScalePreset:
+    def test_five_levels(self):
+        scale = xscale_pxa()
+        assert len(scale) == 5
+
+    def test_paper_speeds(self):
+        """Section 5.1: 150/400/600/800/1000 MHz."""
+        speeds = [lv.speed for lv in xscale_pxa()]
+        assert speeds == pytest.approx([0.15, 0.4, 0.6, 0.8, 1.0])
+
+    def test_paper_powers_in_watts(self):
+        """Section 5.1: 80/400/1000/2000/3200 mW, in watts by default."""
+        powers = [lv.power for lv in xscale_pxa()]
+        assert powers == pytest.approx([0.08, 0.4, 1.0, 2.0, 3.2])
+
+    def test_custom_power_unit(self):
+        powers = [lv.power for lv in xscale_pxa(power_unit=1.0)]
+        assert powers == pytest.approx(list(XSCALE_POWERS_MW))
+
+    def test_frequencies_recorded(self):
+        freqs = [lv.frequency_hz for lv in xscale_pxa()]
+        assert freqs == pytest.approx([f * 1e6 for f in XSCALE_FREQUENCIES_MHZ])
+
+    def test_energy_per_work_strictly_increasing(self):
+        """The ladder makes slowing down always save energy."""
+        epw = [lv.energy_per_work for lv in xscale_pxa()]
+        assert all(a < b for a, b in zip(epw, epw[1:]))
+
+    def test_invalid_power_unit(self):
+        with pytest.raises(ValueError):
+            xscale_pxa(power_unit=0.0)
+
+
+class TestExampleScales:
+    def test_motivational_ratios(self):
+        """Section 2: high speed 2x low; high power 3x low; P_max = 8."""
+        scale = motivational_example_scale()
+        low, high = scale.min_level, scale.max_level
+        assert high.speed / low.speed == pytest.approx(2.0)
+        assert high.power / low.power == pytest.approx(3.0)
+        assert high.power == pytest.approx(8.0)
+
+    def test_stretch_example(self):
+        """Section 4.3: f_n = 0.25 f_max, P_n = 1, P_max = 8."""
+        scale = stretch_example_scale()
+        assert scale.min_level.speed == pytest.approx(0.25)
+        assert scale.min_level.power == pytest.approx(1.0)
+        assert scale.max_power == pytest.approx(8.0)
+
+    def test_two_speed_factory(self):
+        scale = two_speed_scale(low_speed=0.5, low_power=1.0, max_power=4.0)
+        assert len(scale) == 2
+        assert scale.min_level.speed == 0.5
+
+
+class TestContinuousApproximation:
+    def test_level_count(self):
+        assert len(continuous_approximation(n_levels=16)) == 16
+
+    def test_cubic_power_model(self):
+        scale = continuous_approximation(n_levels=8, max_power=3.2, exponent=3.0)
+        for level in scale:
+            assert level.power == pytest.approx(3.2 * level.speed**3)
+
+    def test_spans_min_speed_to_one(self):
+        scale = continuous_approximation(n_levels=10, min_speed=0.1)
+        assert scale.min_level.speed == pytest.approx(0.1)
+        assert scale.max_level.speed == pytest.approx(1.0)
+
+    def test_no_dominated_levels(self):
+        continuous_approximation(n_levels=32).validate_efficiency()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            continuous_approximation(n_levels=1)
+        with pytest.raises(ValueError):
+            continuous_approximation(min_speed=0.0)
+        with pytest.raises(ValueError):
+            continuous_approximation(exponent=0.5)

@@ -1,0 +1,189 @@
+"""Unit tests for the harvest predictors."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.predictor import (
+    LastValuePredictor,
+    MeanPowerPredictor,
+    OraclePredictor,
+    ProfilePredictor,
+)
+from repro.energy.source import ConstantSource, SolarStochasticSource, TraceSource
+
+
+class TestOraclePredictor:
+    def test_matches_source_exactly(self):
+        source = SolarStochasticSource(seed=4)
+        oracle = OraclePredictor(source)
+        assert oracle.predict_energy(10.0, 60.0) == pytest.approx(
+            source.energy(10.0, 60.0)
+        )
+
+    def test_observe_is_noop(self):
+        source = ConstantSource(1.0)
+        oracle = OraclePredictor(source)
+        oracle.observe(0.0, 10.0, 123.0)
+        assert oracle.predict_energy(0.0, 10.0) == pytest.approx(10.0)
+
+
+class TestMeanPowerPredictor:
+    def test_initial_estimate(self):
+        predictor = MeanPowerPredictor(initial_power=2.0)
+        assert predictor.predict_energy(0.0, 5.0) == pytest.approx(10.0)
+
+    def test_converges_to_constant(self):
+        predictor = MeanPowerPredictor(initial_power=0.0, alpha=0.2)
+        for k in range(200):
+            predictor.observe(float(k), float(k + 1), 3.0)
+        assert predictor.estimate == pytest.approx(3.0, rel=1e-3)
+
+    def test_duration_correct_decay(self):
+        """One 10-unit observation equals ten 1-unit observations."""
+        chunky = MeanPowerPredictor(initial_power=5.0, alpha=0.1)
+        chunky.observe(0.0, 10.0, 20.0)  # mean power 2 over 10 units
+        fine = MeanPowerPredictor(initial_power=5.0, alpha=0.1)
+        for k in range(10):
+            fine.observe(float(k), float(k + 1), 2.0)
+        assert chunky.estimate == pytest.approx(fine.estimate)
+
+    def test_zero_duration_ignored(self):
+        predictor = MeanPowerPredictor(initial_power=1.0)
+        predictor.observe(5.0, 5.0, 0.0)
+        assert predictor.estimate == 1.0
+
+    def test_reset(self):
+        predictor = MeanPowerPredictor(initial_power=1.5, alpha=0.5)
+        predictor.observe(0.0, 1.0, 10.0)
+        predictor.reset()
+        assert predictor.estimate == 1.5
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            MeanPowerPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            MeanPowerPredictor(alpha=1.5)
+
+    @given(st.floats(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_nonnegative(self, power):
+        predictor = MeanPowerPredictor()
+        predictor.observe(0.0, 1.0, power)
+        assert predictor.predict_energy(1.0, 11.0) >= 0.0
+
+
+class TestLastValuePredictor:
+    def test_persists_last_observation(self):
+        predictor = LastValuePredictor()
+        predictor.observe(0.0, 2.0, 8.0)  # mean power 4
+        assert predictor.predict_energy(2.0, 5.0) == pytest.approx(12.0)
+
+    def test_overwrites(self):
+        predictor = LastValuePredictor(initial_power=1.0)
+        predictor.observe(0.0, 1.0, 7.0)
+        predictor.observe(1.0, 2.0, 1.0)
+        assert predictor.predict_energy(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_reset(self):
+        predictor = LastValuePredictor(initial_power=2.0)
+        predictor.observe(0.0, 1.0, 9.0)
+        predictor.reset()
+        assert predictor.predict_energy(0.0, 1.0) == pytest.approx(2.0)
+
+
+class TestProfilePredictor:
+    def test_unseen_bins_use_initial_power(self):
+        predictor = ProfilePredictor(period=100.0, n_bins=10, initial_power=2.0)
+        assert predictor.predict_energy(0.0, 50.0) == pytest.approx(100.0)
+
+    def test_learns_a_two_level_profile(self):
+        """A square-wave source should be learned bin by bin."""
+        predictor = ProfilePredictor(period=10.0, n_bins=2, alpha=1.0)
+        # First half of each cycle: power 4; second half: power 0.
+        for cycle in range(5):
+            base = cycle * 10.0
+            predictor.observe(base, base + 5.0, 20.0)
+            predictor.observe(base + 5.0, base + 10.0, 0.0)
+        assert predictor.predict_energy(50.0, 55.0) == pytest.approx(20.0)
+        assert predictor.predict_energy(55.0, 60.0) == pytest.approx(0.0)
+        assert predictor.predict_energy(50.0, 60.0) == pytest.approx(20.0)
+
+    def test_prediction_spans_multiple_cycles(self):
+        predictor = ProfilePredictor(period=10.0, n_bins=2, alpha=1.0)
+        predictor.observe(0.0, 5.0, 10.0)
+        predictor.observe(5.0, 10.0, 0.0)
+        assert predictor.predict_energy(0.0, 30.0) == pytest.approx(30.0)
+
+    def test_partial_bin_prorated(self):
+        predictor = ProfilePredictor(period=10.0, n_bins=2, alpha=1.0)
+        predictor.observe(0.0, 5.0, 10.0)  # bin 0 at power 2
+        assert predictor.predict_energy(1.0, 2.5) == pytest.approx(3.0)
+
+    def test_tracks_solar_envelope(self):
+        """After a few cycles the profile beats a flat-mean guess."""
+        source = SolarStochasticSource(seed=11)
+        profile = ProfilePredictor()
+        mean = MeanPowerPredictor(alpha=0.05)
+        t = 0.0
+        while t < 3 * profile.period:
+            e = source.energy(t, t + 1.0)
+            profile.observe(t, t + 1.0, e)
+            mean.observe(t, t + 1.0, e)
+            t += 1.0
+        # Compare predictions over the next half cycle against the truth.
+        horizon = (t, t + profile.period / 2)
+        truth = source.energy(*horizon)
+        profile_err = abs(profile.predict_energy(*horizon) - truth)
+        mean_err = abs(mean.predict_energy(*horizon) - truth)
+        assert profile_err < mean_err
+
+    def test_observation_spanning_bin_boundary(self):
+        predictor = ProfilePredictor(period=10.0, n_bins=2, alpha=1.0)
+        predictor.observe(4.0, 6.0, 8.0)  # power 4 across both bins
+        assert predictor.predict_energy(0.0, 5.0) == pytest.approx(20.0)
+        assert predictor.predict_energy(5.0, 10.0) == pytest.approx(20.0)
+
+    def test_reset_clears_bins(self):
+        predictor = ProfilePredictor(period=10.0, n_bins=2, alpha=1.0,
+                                     initial_power=1.0)
+        predictor.observe(0.0, 10.0, 100.0)
+        predictor.reset()
+        assert predictor.predict_energy(0.0, 10.0) == pytest.approx(10.0)
+
+    def test_bin_estimates_copy(self):
+        predictor = ProfilePredictor(period=10.0, n_bins=4)
+        estimates = predictor.bin_estimates()
+        estimates[:] = 99.0
+        assert predictor.predict_energy(0.0, 10.0) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProfilePredictor(period=0.0)
+        with pytest.raises(ValueError):
+            ProfilePredictor(n_bins=0)
+        with pytest.raises(ValueError):
+            ProfilePredictor(alpha=2.0)
+        with pytest.raises(ValueError):
+            ProfilePredictor(initial_power=-1.0)
+
+    @given(
+        t0=st.floats(min_value=0, max_value=500),
+        span=st.floats(min_value=0, max_value=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_prediction_additivity(self, t0, span):
+        predictor = ProfilePredictor(period=37.0, n_bins=8, alpha=0.5)
+        source = TraceSource([3.0, 1.0, 4.0, 1.0, 5.0], cyclic=True)
+        t = 0.0
+        while t < 100.0:
+            predictor.observe(t, t + 1.0, source.energy(t, t + 1.0))
+            t += 1.0
+        mid = t0 + span / 3
+        whole = predictor.predict_energy(t0, t0 + span)
+        parts = predictor.predict_energy(t0, mid) + predictor.predict_energy(
+            mid, t0 + span
+        )
+        assert whole == pytest.approx(parts, rel=1e-6, abs=1e-6)

@@ -1,0 +1,87 @@
+"""Plumbing tests for the ablation experiment runners (tiny scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationResult,
+    run_aet_ablation,
+    run_dvfs_granularity_ablation,
+    run_nonideal_storage_ablation,
+    run_overflow_aware_ablation,
+    run_predictor_ablation,
+    run_rectification_ablation,
+    run_switch_overhead_ablation,
+    run_weather_ablation,
+)
+from repro.experiments import EXPERIMENTS
+
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+class TestAblationResult:
+    def test_format_text(self):
+        result = AblationResult(
+            name="x", header="title:", rows=("a: 1", "b: 2"),
+        )
+        text = result.format_text()
+        assert text.splitlines() == ["title:", "  a: 1", "  b: 2"]
+
+
+class TestRunnersAtTinyScale:
+    """Each runner executes end-to-end with n_sets=1 and returns sane
+    metrics; the full-scale shape assertions live in benchmarks/."""
+
+    def test_predictor(self):
+        result = run_predictor_ablation(n_sets=1)
+        assert set(result.metrics["rates"]) == {"oracle", "profile", "mean"}
+        assert all(0 <= r <= 1 for r in result.metrics["rates"].values())
+
+    def test_rectification(self):
+        result = run_rectification_ablation(n_sets=1)
+        assert set(result.metrics["rates"]) == {"abs", "clamp"}
+
+    def test_switch_overhead(self):
+        result = run_switch_overhead_ablation(n_sets=1)
+        assert result.metrics["costly"] >= 0
+        assert "switches per run" in result.format_text()
+
+    def test_nonideal_storage(self):
+        result = run_nonideal_storage_ablation(n_sets=1)
+        assert set(result.metrics["rates"]) == {"lsa", "ea-dvfs"}
+
+    def test_dvfs_granularity(self):
+        result = run_dvfs_granularity_ablation(n_sets=1)
+        assert set(result.metrics["rates"]) == {
+            "continuous-32", "xscale-5", "single-speed",
+        }
+
+    def test_weather(self):
+        result = run_weather_ablation(
+            n_sets=1, capacities=(100.0,), horizon=2000.0
+        )
+        assert 100.0 in result.metrics["rates"]
+
+    def test_overflow_aware(self):
+        result = run_overflow_aware_ablation(n_sets=1)
+        assert set(result.metrics["rates"]) == {"ea-dvfs", "ea-dvfs-oa"}
+
+    def test_aet(self):
+        result = run_aet_ablation(n_sets=1)
+        wcet, aet = result.metrics["rates"]["ea-dvfs"]
+        assert 0 <= aet <= wcet + 0.2
+
+
+class TestRegistry:
+    def test_all_ablations_registered(self):
+        expected = {
+            "ablation-predictor",
+            "ablation-rectification",
+            "ablation-switch-overhead",
+            "ablation-nonideal-storage",
+            "ablation-dvfs-granularity",
+            "ablation-weather",
+            "ablation-overflow-aware",
+            "ablation-aet",
+        }
+        assert expected <= set(EXPERIMENTS)

@@ -1,0 +1,189 @@
+"""Tests for the experiment harness (scaled-down configurations).
+
+These run real simulations with tiny replication counts and short
+horizons, validating the *plumbing* of each experiment; the full-shape
+reproduction lives in the benchmark harness (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import PaperSetup, replications, scale_factor
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6_fig7 import run_remaining_energy
+from repro.experiments.fig8_fig9 import run_miss_rate_sweep
+from repro.experiments.table1 import run_table1
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture
+def fast_setup():
+    """Short-horizon setup so experiment tests stay quick."""
+    return PaperSetup(horizon=1500.0)
+
+
+class TestPaperSetup:
+    def test_mean_harvest_power(self):
+        setup = PaperSetup()
+        assert setup.mean_harvest_power() == pytest.approx(3.989, abs=0.01)
+
+    def test_paired_seeding(self, fast_setup):
+        """Same seed -> identical world across schedulers."""
+        a = fast_setup.run("lsa", 0.4, 100.0, seed=3)
+        b = fast_setup.run("ea-dvfs", 0.4, 100.0, seed=3)
+        assert a.released_count == b.released_count
+        assert a.harvested_energy == pytest.approx(b.harvested_energy)
+
+    def test_predictor_kinds(self, fast_setup):
+        for kind in ("profile", "oracle", "mean"):
+            setup = PaperSetup(horizon=500.0, predictor_kind=kind)
+            result = setup.run("ea-dvfs", 0.4, 100.0, seed=0)
+            assert result.released_count > 0
+        with pytest.raises(ValueError, match="unknown predictor"):
+            PaperSetup(predictor_kind="magic").predictor(None)
+
+    def test_factory_signature(self, fast_setup):
+        factory = fast_setup.factory(0.4)
+        result = factory("lsa", 50.0, 0)
+        assert result.scheduler_name == "lsa"
+
+    def test_scale_factor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_factor() == 2.5
+        assert replications(4) == 10
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError, match="numeric"):
+            scale_factor()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+    def test_replications_at_least_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert replications(3) == 1
+
+
+class TestFig5:
+    def test_statistics(self):
+        result = run_fig5(horizon=2000.0)
+        assert result.times.size == 2000
+        assert result.powers.min() >= 0.0
+        assert result.mean_power == pytest.approx(result.analytic_mean, rel=0.25)
+        assert result.peak_power > result.mean_power
+
+    def test_format_text(self):
+        text = run_fig5(horizon=500.0).format_text()
+        assert "Figure 5" in text
+        assert "mean=" in text
+
+
+class TestFig6Fig7:
+    def test_curves_structure(self, fast_setup):
+        result = run_remaining_energy(
+            utilization=0.4, figure="Figure 6", setup=fast_setup,
+            capacities=(100.0, 500.0), n_sets=2, sample_interval=50.0,
+        )
+        assert set(result.curves) == {"lsa", "ea-dvfs"}
+        for curve in result.curves.values():
+            assert curve.shape == result.times.shape
+            assert np.all((curve >= 0.0) & (curve <= 1.0 + 1e-9))
+
+    def test_low_utilization_advantage_nonnegative(self, fast_setup):
+        result = run_remaining_energy(
+            utilization=0.4, figure="Figure 6", setup=fast_setup,
+            capacities=(50.0, 150.0), n_sets=3, sample_interval=50.0,
+        )
+        assert result.advantage >= -0.02  # EA-DVFS stores at least as much
+
+    def test_format_text(self, fast_setup):
+        result = run_remaining_energy(
+            utilization=0.8, figure="Figure 7", setup=fast_setup,
+            capacities=(100.0,), n_sets=1, sample_interval=100.0,
+        )
+        text = result.format_text()
+        assert "Figure 7" in text
+        assert "EA-DVFS minus LSA" in text
+
+
+class TestFig8Fig9:
+    def test_sweep_structure(self, fast_setup):
+        result = run_miss_rate_sweep(
+            utilization=0.4, figure="Figure 8", setup=fast_setup,
+            reference_capacity=200.0, fractions=(0.1, 0.5, 1.0), n_sets=3,
+        )
+        assert result.fractions.shape == (3,)
+        assert result.curve("lsa").shape == (3,)
+        assert 0.0 <= result.mean_reduction <= 1.0
+
+    def test_miss_rates_decline_with_capacity(self, fast_setup):
+        result = run_miss_rate_sweep(
+            utilization=0.4, figure="Figure 8", setup=fast_setup,
+            reference_capacity=300.0, fractions=(0.05, 1.0), n_sets=4,
+        )
+        for name in ("lsa", "ea-dvfs"):
+            curve = result.curve(name)
+            assert curve[-1] <= curve[0] + 1e-9
+
+    def test_unknown_utilization_needs_reference(self, fast_setup):
+        with pytest.raises(ValueError, match="reference capacity"):
+            run_miss_rate_sweep(
+                utilization=0.5, figure="x", setup=fast_setup, n_sets=1,
+            )
+
+    def test_format_text(self, fast_setup):
+        result = run_miss_rate_sweep(
+            utilization=0.4, figure="Figure 8", setup=fast_setup,
+            reference_capacity=200.0, fractions=(0.1, 1.0), n_sets=2,
+        )
+        text = result.format_text()
+        assert "Figure 8" in text
+        assert "reduction" in text
+
+
+class TestTable1:
+    def test_rows_and_ratios(self, fast_setup):
+        result = run_table1(
+            setup=fast_setup, utilizations=(0.2, 0.6), n_sets=2,
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.cmin_lsa > 0
+            assert row.cmin_ea_dvfs > 0
+            assert row.ratio == pytest.approx(
+                row.cmin_lsa / row.cmin_ea_dvfs
+            )
+        assert result.ratio(0.2) >= 0.9  # EA-DVFS never needs (much) more
+
+    def test_unknown_utilization_rejected(self, fast_setup):
+        result = run_table1(setup=fast_setup, utilizations=(0.2,), n_sets=1)
+        with pytest.raises(KeyError):
+            result.ratio(0.9)
+
+    def test_format_text(self, fast_setup):
+        result = run_table1(setup=fast_setup, utilizations=(0.4,), n_sets=1)
+        text = result.format_text()
+        assert "Table 1" in text
+        assert "paper" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        paper_artifacts = {
+            "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "motivation",
+        }
+        assert paper_artifacts <= set(EXPERIMENTS)
+        # Everything else in the registry is an ablation.
+        assert all(
+            name in paper_artifacts or name.startswith("ablation-")
+            for name in EXPERIMENTS
+        )
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_motivation_bundle(self):
+        bundle = run_experiment("motivation")
+        text = bundle.format_text()
+        assert "Figure 1" in text
+        assert "Figure 3" in text

@@ -1,0 +1,127 @@
+"""Tests for the overflow-aware EA-DVFS extension."""
+
+import pytest
+
+from repro.energy.predictor import OraclePredictor
+from repro.energy.source import ConstantSource, SolarStochasticSource
+from repro.energy.storage import IdealStorage
+from repro.sched.base import EnergyOutlook
+from repro.sched.extensions import OverflowAwareEaDvfsScheduler
+from repro.core.ea_dvfs import EaDvfsScheduler
+from repro.sched.registry import make_scheduler
+from repro.tasks.job import Job
+from repro.tasks.queue import EdfReadyQueue
+from repro.tasks.task import AperiodicTask, PeriodicTask, TaskSet
+
+
+def make_ready(*specs):
+    queue = EdfReadyQueue()
+    for release, deadline, wcet, name in specs:
+        task = AperiodicTask(
+            arrival=release, relative_deadline=deadline - release,
+            wcet=wcet, name=name,
+        )
+        job = Job(task=task, release=release, absolute_deadline=deadline,
+                  wcet=wcet)
+        job.mark_released()
+        queue.push(job)
+    return queue
+
+
+def outlook(stored, capacity, harvest):
+    storage = IdealStorage(capacity=capacity, initial=stored)
+    return EnergyOutlook(storage, OraclePredictor(ConstantSource(harvest)))
+
+
+class TestOverflowAwareDecisions:
+    def test_registered(self, two_speed):
+        scheduler = make_scheduler("ea-dvfs-oa", two_speed)
+        assert isinstance(scheduler, OverflowAwareEaDvfsScheduler)
+
+    def test_matches_base_when_no_overflow_risk(self, two_speed):
+        """Large headroom: identical decision to plain EA-DVFS."""
+        base = EaDvfsScheduler(two_speed)
+        extended = OverflowAwareEaDvfsScheduler(two_speed)
+        ready = make_ready((0.0, 16.0, 4.0, "t"))
+        view = outlook(stored=16.0, capacity=1000.0, harvest=0.5)
+        a = base.decide(4.0, make_ready((0.0, 16.0, 4.0, "t")), view)
+        b = extended.decide(4.0, ready, view)
+        assert a.is_idle == b.is_idle
+        if not a.is_idle:
+            assert a.level == b.level
+            assert a.switch_to_max_at == b.switch_to_max_at
+
+    def test_raises_level_when_overflow_predicted(self, xscale):
+        """Small headroom + strong inflow: the slow phase would clip the
+        storage, so the extension speeds up."""
+        base = EaDvfsScheduler(xscale)
+        extended = OverflowAwareEaDvfsScheduler(xscale)
+        # Storage nearly full (headroom 2), harvest 3/unit over a long
+        # window: huge predicted inflow, most of it would overflow at a
+        # slow level.
+        ready_a = make_ready((0.0, 100.0, 30.0, "t"))
+        ready_b = make_ready((0.0, 100.0, 30.0, "t"))
+        view_a = outlook(stored=38.0, capacity=40.0, harvest=3.0)
+        view_b = outlook(stored=38.0, capacity=40.0, harvest=3.0)
+        a = base.decide(0.0, ready_a, view_a)
+        b = extended.decide(0.0, ready_b, view_b)
+        if not a.is_idle and not b.is_idle:
+            assert b.level.speed >= a.level.speed
+
+    def test_infinite_capacity_never_triggers(self, xscale):
+        import math
+
+        extended = OverflowAwareEaDvfsScheduler(xscale)
+        storage = IdealStorage(capacity=math.inf, initial=math.inf)
+        view = EnergyOutlook(storage, OraclePredictor(ConstantSource(5.0)))
+        ready = make_ready((0.0, 50.0, 5.0, "t"))
+        decision = extended.decide(0.0, ready, view)
+        assert decision.level.speed == 1.0  # EDF degeneration preserved
+
+    def test_idle_passthrough(self, xscale):
+        extended = OverflowAwareEaDvfsScheduler(xscale)
+        decision = extended.decide(
+            0.0, EdfReadyQueue(), outlook(1.0, 10.0, 0.1)
+        )
+        assert decision.is_idle
+
+
+class TestOverflowAwareEndToEnd:
+    def _run(self, name, capacity, seed=3):
+        from repro.sim.simulator import (
+            HarvestingRtSimulator,
+            SimulationConfig,
+        )
+        from repro.cpu.presets import xscale_pxa
+        from repro.tasks.workload import generate_paper_taskset
+
+        scale = xscale_pxa()
+        source = SolarStochasticSource(seed=seed)
+        taskset = generate_paper_taskset(
+            n_tasks=5, utilization=0.4, seed=seed,
+            mean_harvest_power=source.mean_power(),
+            max_power=scale.max_power,
+        )
+        sim = HarvestingRtSimulator(
+            taskset=taskset,
+            source=source,
+            storage=IdealStorage(capacity=capacity),
+            scheduler=make_scheduler(name, scale),
+            predictor=OraclePredictor(source),
+            config=SimulationConfig(horizon=3000.0),
+        )
+        return sim.run()
+
+    @pytest.mark.parametrize("capacity", [20.0, 60.0])
+    def test_no_worse_than_base_on_average(self, capacity):
+        base = sum(self._run("ea-dvfs", capacity, s).missed_count
+                   for s in range(3))
+        extended = sum(self._run("ea-dvfs-oa", capacity, s).missed_count
+                       for s in range(3))
+        # The extension may only help (or tie) within noise.
+        assert extended <= base + 2
+
+    def test_reduces_overflow_waste(self):
+        base = self._run("ea-dvfs", 20.0)
+        extended = self._run("ea-dvfs-oa", 20.0)
+        assert extended.overflow_energy <= base.overflow_energy + 1.0

@@ -1,0 +1,190 @@
+"""Unit tests for the discrete-event kernel."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventQueue, SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimulationClock(5.0).now == 5.0
+
+    def test_infinite_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(math.inf)
+
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_backwards_rejected(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(9.0)
+
+    def test_tiny_backwards_noise_tolerated(self):
+        clock = SimulationClock(10.0)
+        clock.advance_to(10.0 - 1e-12)
+        assert clock.now == 10.0
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, "c")
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.schedule(1.0, "late", priority=5)
+        q.schedule(1.0, "early", priority=0)
+        assert q.pop().kind == "early"
+        assert q.pop().kind == "late"
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        first = q.schedule(1.0, "x", payload=1)
+        second = q.schedule(1.0, "x", payload=2)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_pop_advances_clock(self):
+        q = EventQueue()
+        q.schedule(7.5, "x")
+        q.pop()
+        assert q.now == 7.5
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.schedule(t, "e")
+        popped = [q.pop().time for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+
+class TestEventQueueScheduling:
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        q.pop()
+        with pytest.raises(ValueError, match="into the past"):
+            q.schedule(1.0, "y")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            EventQueue().schedule(math.nan, "x")
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        q.schedule(2.0, "first")
+        q.pop()
+        event = q.schedule_after(3.0, "second")
+        assert event.time == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EventQueue().schedule_after(-1.0, "x")
+
+    def test_slightly_past_snaps_to_now(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        q.pop()
+        event = q.schedule(5.0 - 1e-12, "y")
+        assert event.time == 5.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        doomed = q.schedule(1.0, "doomed")
+        q.schedule(2.0, "kept")
+        q.cancel(doomed)
+        assert len(q) == 1
+        assert q.pop().kind == "kept"
+
+    def test_cancel_idempotent(self):
+        q = EventQueue()
+        event = q.schedule(1.0, "x")
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        doomed = q.schedule(1.0, "doomed")
+        q.schedule(4.0, "kept")
+        q.cancel(doomed)
+        assert q.peek_time() == 4.0
+
+    def test_empty_peek_is_inf(self):
+        assert EventQueue().peek_time() == math.inf
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+
+class TestRun:
+    def test_callbacks_dispatched(self):
+        q = EventQueue()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, "tick", callback=lambda e: seen.append(e.time))
+        dispatched = q.run()
+        assert dispatched == 3
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_until_is_half_open(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, "in", callback=lambda e: seen.append(e.kind))
+        q.schedule(2.0, "out", callback=lambda e: seen.append(e.kind))
+        q.run(until=2.0)
+        assert seen == ["in"]
+        assert q.now == 2.0  # clock still advances to the horizon
+
+    def test_callback_may_schedule_more(self):
+        q = EventQueue()
+        count = 0
+
+        def chain(event):
+            nonlocal count
+            count += 1
+            if count < 5:
+                q.schedule_after(1.0, "chain", callback=chain)
+
+        q.schedule(0.0, "chain", callback=chain)
+        q.run()
+        assert count == 5
+        assert q.now == 4.0
+
+    def test_max_events_limit(self):
+        q = EventQueue()
+        for t in range(10):
+            q.schedule(float(t), "e")
+        assert q.run(max_events=4) == 4
+        assert len(q) == 6
+
+    def test_drain_yields_in_order(self):
+        q = EventQueue()
+        q.schedule(2.0, "b")
+        q.schedule(1.0, "a")
+        assert [e.kind for e in q.drain()] == ["a", "b"]
+
+    def test_processed_count(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        q.run()
+        assert q.processed_count == 2

@@ -1,0 +1,84 @@
+"""Tests for the non-zero idle-power ablation path.
+
+The paper's model draws nothing while idle; the simulator supports a
+static idle draw for platform-overhead studies, including the brown-out
+rule when an empty storage cannot sustain it.
+"""
+
+import pytest
+
+from repro.cpu.presets import xscale_pxa
+from repro.cpu.processor import Processor
+from repro.energy.predictor import OraclePredictor
+from repro.energy.source import ConstantSource, TraceSource
+from repro.energy.storage import IdealStorage
+from repro.sched.edf import GreedyEdfScheduler
+from repro.sim.simulator import HarvestingRtSimulator, SimulationConfig
+from repro.tasks.task import AperiodicTask, PeriodicTask, TaskSet
+
+
+def run_idle(idle_power, source, capacity=100.0, initial=None, horizon=50.0,
+             taskset=None):
+    scale = xscale_pxa()
+    sim = HarvestingRtSimulator(
+        taskset=taskset or TaskSet(
+            [AperiodicTask(0.0, 10.0, 1.0, name="t")]
+        ),
+        source=source,
+        storage=IdealStorage(capacity=capacity, initial=initial),
+        scheduler=GreedyEdfScheduler(scale),
+        predictor=OraclePredictor(source),
+        processor=Processor(scale, idle_power=idle_power),
+        config=SimulationConfig(horizon=horizon),
+    )
+    return sim.run()
+
+
+class TestIdlePower:
+    def test_idle_draw_depletes_storage(self):
+        """No harvest: idle power drains exactly idle * idle_time."""
+        result = run_idle(0.1, ConstantSource(0.0), capacity=100.0)
+        busy_energy = 1.0 * 3.2  # one 1-unit job at P_max
+        idle_energy = 0.1 * result.idle_time
+        assert result.drawn_energy == pytest.approx(
+            busy_energy + idle_energy
+        )
+        assert result.final_stored == pytest.approx(
+            100.0 - busy_energy - idle_energy
+        )
+
+    def test_zero_idle_power_draws_nothing_when_idle(self):
+        result = run_idle(0.0, ConstantSource(0.0), capacity=100.0)
+        assert result.drawn_energy == pytest.approx(3.2)
+
+    def test_brownout_when_storage_empty(self):
+        """With an empty storage and zero harvest the idle draw browns
+        out instead of wedging the simulation."""
+        result = run_idle(
+            0.5, ConstantSource(0.0), capacity=10.0, initial=3.2,
+        )
+        # The single job consumes the full initial charge; afterwards the
+        # storage is empty and idle draw cannot be served.
+        assert result.final_stored == pytest.approx(0.0, abs=1e-6)
+
+    def test_idle_draw_resumes_with_harvest(self):
+        """After a dark stretch, harvested energy serves the idle draw
+        again (level stays bounded by capacity)."""
+        source = TraceSource([0.0] * 10 + [2.0] * 40)
+        result = run_idle(0.2, source, capacity=20.0, initial=5.0)
+        assert 0.0 <= result.final_stored <= 20.0
+
+    def test_energy_conservation_with_idle_draw(self):
+        source = ConstantSource(0.5)
+        taskset = TaskSet([PeriodicTask(period=10.0, wcet=1.0, name="t")])
+        result = run_idle(
+            0.05, source, capacity=30.0, horizon=100.0, taskset=taskset,
+        )
+        balance = (
+            30.0
+            + result.harvested_energy
+            - result.drawn_energy
+            - result.overflow_energy
+            - result.final_stored
+        )
+        assert balance == pytest.approx(0.0, abs=1e-6)

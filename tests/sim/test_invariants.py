@@ -1,0 +1,253 @@
+"""Property-based fuzzing of whole-simulation invariants.
+
+Random workloads, sources, storages and schedulers are thrown at the
+simulator; every run must uphold the physical and accounting invariants
+of the model regardless of the scenario:
+
+* energy conservation: initial + harvested = drawn + overflow + leaked
+  + final stored (ideal storage; lossy adds conversion losses, so only
+  an inequality holds there);
+* job accounting: released = completed + missed + in-flight;
+* causality on every job: release <= start <= completion <= horizon;
+* the processor cannot be busy longer than the horizon, and busy plus
+  idle time must sum to it.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ea_dvfs import EaDvfsScheduler
+from repro.cpu.presets import xscale_pxa
+from repro.energy.predictor import (
+    MeanPowerPredictor,
+    OraclePredictor,
+    ProfilePredictor,
+)
+from repro.energy.source import (
+    ConstantSource,
+    DayNightSource,
+    SolarStochasticSource,
+)
+from repro.energy.storage import IdealStorage
+from repro.sched.edf import GreedyEdfScheduler, StretchEdfScheduler
+from repro.sched.lsa import LazyScheduler
+from repro.sim.simulator import (
+    DeadlineMissPolicy,
+    HarvestingRtSimulator,
+    SimulationConfig,
+)
+from repro.tasks.task import PeriodicTask, TaskSet
+
+SCHEDULERS = (
+    GreedyEdfScheduler,
+    LazyScheduler,
+    EaDvfsScheduler,
+    StretchEdfScheduler,
+)
+
+
+@st.composite
+def scenarios(draw):
+    n_tasks = draw(st.integers(min_value=1, max_value=4))
+    tasks = []
+    total_u = 0.0
+    for i in range(n_tasks):
+        period = float(draw(st.sampled_from([10, 20, 30, 50, 80])))
+        u = draw(st.floats(min_value=0.02, max_value=0.35))
+        if total_u + u > 1.0:
+            u = max(0.01, 1.0 - total_u)
+        total_u += u
+        bcet = draw(st.sampled_from([1.0, 1.0, 0.6]))
+        tasks.append(
+            PeriodicTask(period=period, wcet=u * period, name=f"t{i}",
+                         bcet_ratio=bcet)
+        )
+    source_kind = draw(st.sampled_from(["constant", "solar", "daynight"]))
+    source_seed = draw(st.integers(min_value=0, max_value=100))
+    capacity = draw(st.floats(min_value=5.0, max_value=500.0))
+    scheduler_cls = draw(st.sampled_from(SCHEDULERS))
+    predictor_kind = draw(st.sampled_from(["oracle", "profile", "mean"]))
+    miss_policy = draw(st.sampled_from(list(DeadlineMissPolicy)))
+    horizon = float(draw(st.sampled_from([200, 500, 800])))
+    return {
+        "tasks": tasks,
+        "source_kind": source_kind,
+        "source_seed": source_seed,
+        "capacity": capacity,
+        "scheduler_cls": scheduler_cls,
+        "predictor_kind": predictor_kind,
+        "miss_policy": miss_policy,
+        "horizon": horizon,
+    }
+
+
+def build_and_run(spec):
+    if spec["source_kind"] == "constant":
+        source = ConstantSource(1.0 + (spec["source_seed"] % 7) * 0.5)
+    elif spec["source_kind"] == "solar":
+        source = SolarStochasticSource(seed=spec["source_seed"])
+    else:
+        source = DayNightSource(day_power=4.0, night_power=0.2,
+                                day_length=60.0, night_length=40.0)
+    if spec["predictor_kind"] == "oracle":
+        predictor = OraclePredictor(source)
+    elif spec["predictor_kind"] == "profile":
+        predictor = ProfilePredictor(period=100.0, n_bins=16)
+    else:
+        predictor = MeanPowerPredictor()
+    scale = xscale_pxa()
+    simulator = HarvestingRtSimulator(
+        taskset=TaskSet(spec["tasks"]),
+        source=source,
+        storage=IdealStorage(capacity=spec["capacity"]),
+        scheduler=spec["scheduler_cls"](scale),
+        predictor=predictor,
+        config=SimulationConfig(
+            horizon=spec["horizon"],
+            miss_policy=spec["miss_policy"],
+            aet_seed=spec["source_seed"],
+        ),
+    )
+    return spec, simulator.run()
+
+
+class TestSimulationInvariants:
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_energy_conservation(self, spec):
+        spec, result = build_and_run(spec)
+        balance = (
+            spec["capacity"]  # storage starts full
+            + result.harvested_energy
+            - result.drawn_energy
+            - result.overflow_energy
+            - result.leaked_energy
+            - result.final_stored
+        )
+        tolerance = 1e-6 * max(1.0, result.harvested_energy)
+        assert abs(balance) < tolerance
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_job_accounting(self, spec):
+        spec, result = build_and_run(spec)
+        finished = result.completed_count + sum(
+            1 for j in result.jobs
+            if j.completion_time is None and j.is_finished
+        )
+        assert finished <= result.released_count
+        assert 0.0 <= result.miss_rate <= 1.0
+        assert result.judged_count <= result.released_count
+        if spec["miss_policy"] is DeadlineMissPolicy.DROP:
+            # Every job is completed, dropped-missed, or still in flight.
+            in_flight = sum(1 for j in result.jobs if not j.is_finished)
+            assert (
+                result.completed_count
+                + sum(1 for j in result.jobs if j.is_finished
+                      and j.completion_time is None)
+                + in_flight
+                == result.released_count
+            )
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_job_causality(self, spec):
+        spec, result = build_and_run(spec)
+        for job in result.jobs:
+            if job.first_start_time is not None:
+                assert job.first_start_time >= job.release - 1e-9
+            if job.completion_time is not None:
+                assert job.first_start_time is not None
+                assert job.completion_time >= job.first_start_time - 1e-9
+                assert job.completion_time <= spec["horizon"] + 1e-9
+                if spec["miss_policy"] is DeadlineMissPolicy.DROP:
+                    # Dropped-at-deadline jobs never complete late.
+                    assert (
+                        job.completion_time
+                        <= job.absolute_deadline + 1e-6
+                    )
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_time_accounting(self, spec):
+        spec, result = build_and_run(spec)
+        busy = result.total_busy_time
+        assert busy >= -1e-9
+        assert busy <= spec["horizon"] + 1e-6
+        assert busy + result.idle_time == pytest.approx(
+            spec["horizon"], abs=1e-6
+        )
+        assert result.stall_time <= result.idle_time + 1e-6
+
+    @given(scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_energy_aware_policies_never_run_negative_storage(self, spec):
+        """Re-run with an energy trace and check the recorded levels."""
+        spec = dict(spec)
+        spec, result = build_and_run(spec)
+        assert result.final_stored >= -1e-6
+        assert result.final_stored <= spec["capacity"] + 1e-6
+
+
+class TestEdfOptimalityCrossCheck:
+    """With infinite energy, preemptive EDF is optimal (Liu & Layland):
+    any task set that passes the offline schedulability test must run
+    with zero misses — a whole-stack cross-check between the analytic
+    module and the simulator."""
+
+    # stretch-edf is deliberately excluded: greedy per-job stretching is
+    # NOT optimal (the paper's Figure 3 counterexample), so it may miss
+    # even on schedulable sets.  The three EDF-degenerate policies must
+    # not.
+    @given(
+        n=st.integers(min_value=1, max_value=5),
+        u=st.floats(min_value=0.1, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=100),
+        scheduler_cls=st.sampled_from(
+            (GreedyEdfScheduler, LazyScheduler, EaDvfsScheduler)
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_schedulable_sets_never_miss_with_infinite_energy(
+        self, n, u, seed, scheduler_cls
+    ):
+        from repro.analysis.schedulability import edf_schedulable
+        from repro.tasks.workload import generate_uunifast_taskset
+
+        taskset = generate_uunifast_taskset(n_tasks=n, utilization=u,
+                                            seed=seed)
+        assert edf_schedulable(taskset)
+        simulator = HarvestingRtSimulator(
+            taskset=taskset,
+            source=ConstantSource(0.0),
+            storage=IdealStorage(capacity=math.inf, initial=math.inf),
+            scheduler=scheduler_cls(xscale_pxa()),
+            config=SimulationConfig(horizon=400.0),
+        )
+        result = simulator.run()
+        assert result.missed_count == 0
+
+    def test_busy_time_matches_demand_over_hyperperiod(self):
+        """With infinite energy and full-speed EDF, the processor's busy
+        time over k hyperperiods equals the released work exactly."""
+        taskset = TaskSet(
+            [
+                PeriodicTask(period=10.0, wcet=2.0, name="a"),
+                PeriodicTask(period=15.0, wcet=3.0, name="b"),
+            ]
+        )
+        horizon = 4 * taskset.hyperperiod()  # 120
+        simulator = HarvestingRtSimulator(
+            taskset=taskset,
+            source=ConstantSource(0.0),
+            storage=IdealStorage(capacity=math.inf, initial=math.inf),
+            scheduler=GreedyEdfScheduler(xscale_pxa()),
+            config=SimulationConfig(horizon=horizon),
+        )
+        result = simulator.run()
+        expected_work = 12 * 2.0 + 8 * 3.0  # 12 jobs of a, 8 of b
+        assert result.total_busy_time == pytest.approx(expected_work)
+        assert result.drawn_energy == pytest.approx(expected_work * 3.2)

@@ -1,0 +1,139 @@
+"""Tests for schedule reconstruction and Gantt rendering."""
+
+import pytest
+
+from repro.experiments.motivation import (
+    run_motivational_example,
+    run_stretch_example,
+)
+from repro.sim.schedule_view import (
+    ExecutionInterval,
+    render_gantt,
+    schedule_intervals,
+)
+from repro.sim.tracing import Trace, TraceKind
+
+
+def synthetic_trace():
+    """A hand-built trace: A runs, is preempted by B, resumes, completes."""
+    trace = Trace()
+    trace.record(0.0, TraceKind.JOB_START, job="A", speed=0.5)
+    trace.record(0.0, TraceKind.FREQ_CHANGE, speed=0.5, power=1.0)
+    trace.record(2.0, TraceKind.JOB_PREEMPT, job="A", by="B")
+    trace.record(2.0, TraceKind.JOB_START, job="B", speed=1.0)
+    trace.record(3.0, TraceKind.JOB_COMPLETE, job="B", lateness=-1.0, energy=1.0)
+    trace.record(3.0, TraceKind.JOB_START, job="A", speed=0.5)
+    trace.record(5.0, TraceKind.FREQ_CHANGE, speed=1.0, power=8.0)
+    trace.record(6.0, TraceKind.JOB_COMPLETE, job="A", lateness=-2.0, energy=2.0)
+    return trace
+
+
+class TestScheduleIntervals:
+    def test_reconstruction(self):
+        intervals = schedule_intervals(synthetic_trace())
+        assert intervals == [
+            ExecutionInterval(job="A", start=0.0, end=2.0, speed=0.5),
+            ExecutionInterval(job="B", start=2.0, end=3.0, speed=1.0),
+            ExecutionInterval(job="A", start=3.0, end=5.0, speed=0.5),
+            ExecutionInterval(job="A", start=5.0, end=6.0, speed=1.0),
+        ]
+
+    def test_total_busy_time(self):
+        intervals = schedule_intervals(synthetic_trace())
+        assert sum(i.duration for i in intervals) == pytest.approx(6.0)
+
+    def test_open_interval_closed_at_end_time(self):
+        trace = Trace()
+        trace.record(1.0, TraceKind.JOB_START, job="A", speed=1.0)
+        intervals = schedule_intervals(trace, end_time=4.0)
+        assert intervals == [
+            ExecutionInterval(job="A", start=1.0, end=4.0, speed=1.0)
+        ]
+
+    def test_open_interval_dropped_without_end_time(self):
+        trace = Trace()
+        trace.record(1.0, TraceKind.JOB_START, job="A", speed=1.0)
+        assert schedule_intervals(trace) == []
+
+    def test_stall_closes_interval(self):
+        trace = Trace()
+        trace.record(0.0, TraceKind.JOB_START, job="A", speed=1.0)
+        trace.record(2.0, TraceKind.STALL, job="A", resume_at=3.0)
+        intervals = schedule_intervals(trace)
+        assert intervals == [
+            ExecutionInterval(job="A", start=0.0, end=2.0, speed=1.0)
+        ]
+
+    def test_empty_trace(self):
+        assert schedule_intervals(Trace()) == []
+
+
+class TestRenderGantt:
+    def test_rows_and_glyphs(self):
+        chart = render_gantt(synthetic_trace(), width=60)
+        lines = chart.splitlines()
+        assert lines[0].startswith("A |") or lines[0].strip().startswith("A")
+        assert "#" in chart  # full-speed stretch of A
+        assert "5" in chart  # half-speed glyph
+        assert "full speed" in chart
+
+    def test_respects_job_order(self):
+        chart = render_gantt(synthetic_trace(), jobs=["B", "A"])
+        lines = chart.splitlines()
+        assert lines[0].lstrip().startswith("B")
+
+    def test_empty_trace_message(self):
+        assert "no execution" in render_gantt(Trace())
+
+    def test_window_filters_jobs(self):
+        """Jobs executing entirely outside the window get no row."""
+        chart = render_gantt(synthetic_trace(), t0=2.0, t1=3.0)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert any(l.lstrip().startswith("B") for l in lines)
+        # A ran only in [0,2) and [3,6) — outside (2,3).
+        assert not any(l.lstrip().startswith("A ") for l in lines)
+
+    def test_row_cap_with_note(self):
+        trace = Trace()
+        for i in range(8):
+            trace.record(float(i), TraceKind.JOB_START, job=f"j{i}",
+                         speed=1.0)
+            trace.record(float(i) + 0.5, TraceKind.JOB_COMPLETE,
+                         job=f"j{i}", lateness=0.0, energy=1.0)
+        chart = render_gantt(trace, max_rows=3)
+        assert "+5 more jobs not shown" in chart
+        assert chart.count("|") >= 3
+
+    def test_invalid_max_rows(self):
+        with pytest.raises(ValueError, match="max_rows"):
+            render_gantt(synthetic_trace(), max_rows=0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="empty window"):
+            render_gantt(synthetic_trace(), t0=10.0, t1=5.0)
+        with pytest.raises(ValueError, match="width"):
+            render_gantt(synthetic_trace(), width=3)
+
+
+class TestAgainstRealRuns:
+    def test_motivational_ea_dvfs_gantt(self):
+        """EA-DVFS in Figure 1: tau1 executes at half speed over [4, 12]."""
+        outcome = run_motivational_example("ea-dvfs")
+        intervals = schedule_intervals(outcome.result.trace)
+        tau1 = [i for i in intervals if i.job == "tau1#0"]
+        assert tau1[0].start == pytest.approx(4.0)
+        assert tau1[-1].end == pytest.approx(12.0)
+        assert all(i.speed == pytest.approx(0.5) for i in tau1)
+
+    def test_figure3_shows_speed_switch(self):
+        """EA-DVFS in Figure 3 runs tau1 slow then at full speed."""
+        outcome = run_stretch_example("ea-dvfs")
+        intervals = schedule_intervals(outcome.result.trace)
+        tau1_speeds = [i.speed for i in intervals if i.job == "tau1#0"]
+        assert tau1_speeds[0] == pytest.approx(0.25)
+        assert tau1_speeds[-1] == pytest.approx(1.0)
+
+    def test_gantt_renders_real_trace(self):
+        outcome = run_motivational_example("lsa")
+        chart = render_gantt(outcome.result.trace, t0=0.0, t1=25.0)
+        assert "tau1#0" in chart

@@ -1,0 +1,143 @@
+"""Unit and property tests for the EDF ready queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks.job import Job
+from repro.tasks.queue import EdfReadyQueue
+from repro.tasks.task import AperiodicTask
+
+
+def make_job(release: float, deadline: float, name: str) -> Job:
+    task = AperiodicTask(
+        arrival=release, relative_deadline=deadline - release, wcet=0.1, name=name
+    )
+    return Job(task=task, release=release, absolute_deadline=deadline, wcet=0.1)
+
+
+class TestOrdering:
+    def test_earliest_deadline_first(self):
+        q = EdfReadyQueue()
+        q.push(make_job(0.0, 30.0, "late"))
+        q.push(make_job(0.0, 10.0, "early"))
+        q.push(make_job(0.0, 20.0, "mid"))
+        assert q.pop().task.name == "early"
+        assert q.pop().task.name == "mid"
+        assert q.pop().task.name == "late"
+
+    def test_release_breaks_deadline_ties(self):
+        q = EdfReadyQueue()
+        q.push(make_job(5.0, 20.0, "second"))
+        q.push(make_job(1.0, 20.0, "first"))
+        assert q.pop().task.name == "first"
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EdfReadyQueue()
+        a = make_job(0.0, 20.0, "a")
+        b = make_job(0.0, 20.0, "b")
+        q.push(a)
+        q.push(b)
+        assert q.pop() is a
+
+    def test_peek_does_not_remove(self):
+        q = EdfReadyQueue()
+        job = make_job(0.0, 10.0, "x")
+        q.push(job)
+        assert q.peek() is job
+        assert len(q) == 1
+
+    def test_empty_peek_is_none(self):
+        assert EdfReadyQueue().peek() is None
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EdfReadyQueue().pop()
+
+
+class TestMembership:
+    def test_contains(self):
+        q = EdfReadyQueue()
+        job = make_job(0.0, 10.0, "x")
+        assert job not in q
+        q.push(job)
+        assert job in q
+
+    def test_double_push_rejected(self):
+        q = EdfReadyQueue()
+        job = make_job(0.0, 10.0, "x")
+        q.push(job)
+        with pytest.raises(ValueError, match="already"):
+            q.push(job)
+
+    def test_remove_arbitrary(self):
+        q = EdfReadyQueue()
+        a = make_job(0.0, 10.0, "a")
+        b = make_job(0.0, 20.0, "b")
+        q.push(a)
+        q.push(b)
+        q.remove(a)
+        assert len(q) == 1
+        assert q.pop() is b
+
+    def test_remove_is_idempotent(self):
+        q = EdfReadyQueue()
+        job = make_job(0.0, 10.0, "x")
+        q.push(job)
+        q.remove(job)
+        q.remove(job)
+        assert len(q) == 0
+
+    def test_reinsert_after_remove(self):
+        q = EdfReadyQueue()
+        job = make_job(0.0, 10.0, "x")
+        q.push(job)
+        q.remove(job)
+        q.push(job)
+        assert q.pop() is job
+
+    def test_clear(self):
+        q = EdfReadyQueue()
+        q.push(make_job(0.0, 10.0, "x"))
+        q.clear()
+        assert len(q) == 0
+        assert q.peek() is None
+
+
+class TestSnapshots:
+    def test_jobs_in_deadline_order(self):
+        q = EdfReadyQueue()
+        for i, deadline in enumerate([30.0, 10.0, 20.0]):
+            q.push(make_job(0.0, deadline, f"t{i}"))
+        deadlines = [j.absolute_deadline for j in q.jobs()]
+        assert deadlines == [10.0, 20.0, 30.0]
+
+    def test_snapshot_is_nondestructive(self):
+        q = EdfReadyQueue()
+        q.push(make_job(0.0, 10.0, "x"))
+        list(q)
+        assert len(q) == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0.1, max_value=100),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pop_sequence_matches_sorted_reference(self, spec):
+        """Popping everything yields jobs sorted by (deadline, release)."""
+        q = EdfReadyQueue()
+        jobs = []
+        for i, (release, rel_deadline) in enumerate(spec):
+            job = make_job(release, release + rel_deadline, f"j{i}")
+            jobs.append(job)
+            q.push(job)
+        popped = [q.pop() for _ in range(len(jobs))]
+        keys = [(j.absolute_deadline, j.release) for j in popped]
+        assert keys == sorted(keys)
+        assert len(q) == 0

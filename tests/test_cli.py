@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_quick_defaults(self):
+        args = build_parser().parse_args(["quick"])
+        assert args.scheduler == "ea-dvfs"
+        assert args.utilization == 0.4
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "ea-dvfs" in out
+        assert "lsa" in out
+
+    def test_quick(self, capsys):
+        code = main(
+            [
+                "quick", "--scheduler", "lsa", "--capacity", "100",
+                "--horizon", "500", "--predictor", "oracle",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduler=lsa" in out
+        assert "miss_rate" in out
+
+    def test_run_motivation(self, capsys):
+        assert main(["run", "motivation"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "completed in" in out
+
+    def test_run_fig5(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_quick_with_exports_and_gantt(self, capsys, tmp_path):
+        json_path = tmp_path / "result.json"
+        csv_path = tmp_path / "trace.csv"
+        code = main(
+            [
+                "quick", "--scheduler", "ea-dvfs", "--capacity", "100",
+                "--horizon", "300", "--json", str(json_path),
+                "--trace-csv", str(csv_path), "--gantt",
+                "--gantt-until", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full speed" in out  # gantt legend
+        assert json_path.exists()
+        assert csv_path.exists()
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["scheduler"] == "ea-dvfs"
+
+    def test_feasibility(self, capsys):
+        assert main(
+            ["feasibility", "--utilization", "0.4", "--deficit-horizon",
+             "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EDF schedulable (timing): True" in out
+        assert "sustainable at full speed: True" in out
+        assert "storage lower bound" in out

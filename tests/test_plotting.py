@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.plotting import ascii_histogram, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_basic_series(self):
+        chart = ascii_plot({"line": ([0, 1, 2], [0.0, 0.5, 1.0])})
+        assert "o = line" in chart
+        assert "o" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_plot(
+            {
+                "a": ([0, 1], [0.0, 1.0]),
+                "b": ([0, 1], [1.0, 0.0]),
+            }
+        )
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_title_and_labels(self):
+        chart = ascii_plot(
+            {"s": ([0, 1], [0, 1])},
+            title="My Chart",
+            xlabel="time",
+            ylabel="y",
+        )
+        assert "My Chart" in chart
+        assert "time" in chart
+
+    def test_y_range_override(self):
+        chart = ascii_plot(
+            {"s": ([0, 1], [0.4, 0.6])}, y_min=0.0, y_max=1.0
+        )
+        assert "1" in chart.splitlines()[0]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError, match="empty"):
+            ascii_plot({"s": ([], [])})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            ascii_plot({"s": ([0, 1], [0.0])})
+
+    def test_nonfinite_points_dropped(self):
+        chart = ascii_plot({"s": ([0, 1, 2], [0.0, np.nan, 2.0])})
+        assert "o = s" in chart
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="no finite"):
+            ascii_plot({"s": ([0.0], [np.nan])})
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_plot({"s": ([0, 1, 2], [5.0, 5.0, 5.0])})
+        assert "o" in chart
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_plot({"s": ([0, 1], [0, 1])}, width=5, height=2)
+
+    def test_dimensions_respected(self):
+        chart = ascii_plot({"s": ([0, 1], [0, 1])}, width=30, height=8)
+        body_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(body_lines) == 8
+
+
+class TestAsciiHistogram:
+    def test_renders_counts(self):
+        text = ascii_histogram([1.0, 1.1, 5.0], bins=2)
+        assert "#" in text
+        assert "2" in text
+
+    def test_title(self):
+        text = ascii_histogram([1.0, 2.0], title="dist")
+        assert text.startswith("dist")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+        with pytest.raises(ValueError):
+            ascii_histogram([np.nan])
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=0)

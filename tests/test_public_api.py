@@ -1,0 +1,64 @@
+"""Contract tests for the public package surface."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_all_is_sorted(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_no_private_leaks(self):
+        assert not any(name.startswith("_") for name in repro.__all__)
+
+
+SUBPACKAGES = (
+    "repro.analysis",
+    "repro.core",
+    "repro.cpu",
+    "repro.energy",
+    "repro.experiments",
+    "repro.sched",
+    "repro.sim",
+    "repro.tasks",
+)
+
+
+class TestSubpackageApi:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_callables_documented(self, module_name):
+        """Every exported class/function carries a docstring."""
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), (
+                    f"{module_name}.{name} lacks a docstring"
+                )
+
+    def test_schedulers_expose_unique_names(self):
+        from repro.sched.registry import available_schedulers, make_scheduler
+        from repro.cpu.presets import xscale_pxa
+
+        scale = xscale_pxa()
+        names = available_schedulers()
+        assert len(set(names)) == len(names)
+        for name in names:
+            assert make_scheduler(name, scale).name == name

@@ -1,0 +1,124 @@
+"""Tests for result/trace persistence."""
+
+import json
+import math
+
+import pytest
+
+from repro.cpu.presets import xscale_pxa
+from repro.energy.predictor import OraclePredictor
+from repro.energy.source import SolarStochasticSource
+from repro.energy.storage import IdealStorage
+from repro.sched.edf import GreedyEdfScheduler
+from repro.serialization import (
+    jobs_to_csv,
+    load_trace_csv,
+    result_to_dict,
+    save_result_json,
+    trace_to_csv,
+)
+from repro.sim.simulator import HarvestingRtSimulator, SimulationConfig
+from repro.sim.tracing import Trace, TraceKind
+from repro.tasks.task import PeriodicTask, TaskSet
+
+
+@pytest.fixture
+def result():
+    source = SolarStochasticSource(seed=2)
+    sim = HarvestingRtSimulator(
+        taskset=TaskSet([PeriodicTask(period=10.0, wcet=3.0, name="t")]),
+        source=source,
+        storage=IdealStorage(capacity=30.0),
+        scheduler=GreedyEdfScheduler(xscale_pxa()),
+        predictor=OraclePredictor(source),
+        config=SimulationConfig(
+            horizon=300.0,
+            trace_kinds=(TraceKind.JOB_COMPLETE, TraceKind.STALL,
+                         TraceKind.ENERGY),
+            energy_sample_interval=50.0,
+        ),
+    )
+    return sim.run()
+
+
+class TestResultJson:
+    def test_dict_fields(self, result):
+        payload = result_to_dict(result)
+        assert payload["scheduler"] == "edf"
+        assert payload["metrics"]["released"] == 30
+        assert payload["metrics"]["miss_rate"] == pytest.approx(
+            result.miss_rate
+        )
+        assert len(payload["jobs"]) == 30
+        assert payload["per_task"]["t"]["released"] == 30
+
+    def test_round_trips_through_json(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result_json(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"]["completed"] == result.completed_count
+        assert loaded["busy_time_profile"]["1"] > 0
+
+    def test_infinite_capacity_serializes(self):
+        source = SolarStochasticSource(seed=2)
+        sim = HarvestingRtSimulator(
+            taskset=TaskSet([PeriodicTask(period=10.0, wcet=1.0, name="t")]),
+            source=source,
+            storage=IdealStorage(capacity=math.inf, initial=math.inf),
+            scheduler=GreedyEdfScheduler(xscale_pxa()),
+            config=SimulationConfig(horizon=50.0),
+        )
+        payload = result_to_dict(sim.run())
+        assert payload["metrics"]["storage_capacity"] == "inf"
+        json.dumps(payload)  # must not raise
+
+
+class TestTraceCsv:
+    def test_round_trip(self, result, tmp_path):
+        path = tmp_path / "trace.csv"
+        written = trace_to_csv(result.trace, path)
+        assert written == len(result.trace)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == len(result.trace)
+        for original, restored in zip(result.trace, loaded):
+            assert restored.time == original.time
+            assert restored.kind == original.kind
+
+    def test_field_values_preserved(self, tmp_path):
+        trace = Trace()
+        trace.record(1.5, "energy", stored=12.25, label="x")
+        path = tmp_path / "t.csv"
+        trace_to_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded[0]["stored"] == 12.25
+        assert loaded[0]["label"] == "x"
+
+    def test_exact_float_round_trip(self, tmp_path):
+        trace = Trace()
+        value = 0.1 + 0.2  # classic non-representable sum
+        trace.record(value, "energy", stored=value)
+        path = tmp_path / "t.csv"
+        trace_to_csv(trace, path)
+        assert load_trace_csv(path)[0].time == value
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="not a trace CSV"):
+            load_trace_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,kind,fields\n1.0,energy\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace_csv(path)
+
+
+class TestJobsCsv:
+    def test_writes_all_jobs(self, result, tmp_path):
+        path = tmp_path / "jobs.csv"
+        assert jobs_to_csv(result, path) == 30
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 31  # header + jobs
+        assert lines[0].startswith("name,task,release")
+        assert "t#0" in lines[1]

@@ -1,0 +1,128 @@
+"""Unit tests for the numeric time helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeutils import (
+    EPSILON,
+    INFINITY,
+    clamp,
+    is_finite,
+    snap_nonnegative,
+    time_eq,
+    time_ge,
+    time_gt,
+    time_le,
+    time_lt,
+    validate_interval,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+class TestComparisons:
+    def test_eq_within_epsilon(self):
+        assert time_eq(1.0, 1.0 + EPSILON / 2)
+        assert time_eq(1.0, 1.0)
+
+    def test_eq_beyond_epsilon(self):
+        assert not time_eq(1.0, 1.0 + 10 * EPSILON)
+
+    def test_eq_infinities(self):
+        assert time_eq(INFINITY, INFINITY)
+        assert not time_eq(INFINITY, 1.0)
+
+    def test_lt_strict(self):
+        assert time_lt(1.0, 2.0)
+        assert not time_lt(1.0, 1.0 + EPSILON / 2)
+        assert not time_lt(2.0, 1.0)
+
+    def test_le_tolerant(self):
+        assert time_le(1.0 + EPSILON / 2, 1.0)
+        assert time_le(0.5, 1.0)
+        assert not time_le(2.0, 1.0)
+
+    def test_gt_strict(self):
+        assert time_gt(2.0, 1.0)
+        assert not time_gt(1.0 + EPSILON / 2, 1.0)
+
+    def test_ge_tolerant(self):
+        assert time_ge(1.0 - EPSILON / 2, 1.0)
+        assert not time_ge(0.5, 1.0)
+
+    @given(finite_floats, finite_floats)
+    def test_trichotomy(self, a, b):
+        """Exactly one of lt / eq / gt holds for any pair."""
+        outcomes = [time_lt(a, b), time_eq(a, b), time_gt(a, b)]
+        assert sum(outcomes) == 1
+
+    @given(finite_floats, finite_floats)
+    def test_le_is_lt_or_eq(self, a, b):
+        assert time_le(a, b) == (time_lt(a, b) or time_eq(a, b))
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError, match="empty clamp interval"):
+            clamp(0.5, 1.0, 0.0)
+
+    @given(finite_floats)
+    def test_result_in_bounds(self, x):
+        assert 0.0 <= clamp(x, 0.0, 10.0) <= 10.0
+
+
+class TestSnapNonnegative:
+    def test_positive_passthrough(self):
+        assert snap_nonnegative(3.5) == 3.5
+
+    def test_zero_passthrough(self):
+        assert snap_nonnegative(0.0) == 0.0
+
+    def test_tiny_negative_snaps(self):
+        assert snap_nonnegative(-EPSILON / 2) == 0.0
+
+    def test_large_negative_raises(self):
+        with pytest.raises(ValueError, match="negative beyond tolerance"):
+            snap_nonnegative(-1.0)
+
+    def test_custom_tolerance(self):
+        assert snap_nonnegative(-0.5, eps=1.0) == 0.0
+
+
+class TestValidateInterval:
+    def test_valid(self):
+        validate_interval(0.0, 1.0)
+        validate_interval(5.0, 5.0)  # empty is fine
+        validate_interval(0.0, math.inf)  # open-ended is fine
+
+    def test_reversed_raises(self):
+        with pytest.raises(ValueError, match="precedes"):
+            validate_interval(2.0, 1.0)
+
+    def test_nan_end_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            validate_interval(0.0, math.nan)
+
+    def test_infinite_start_raises(self):
+        with pytest.raises(ValueError, match="must be finite"):
+            validate_interval(math.inf, math.inf)
+
+
+def test_is_finite():
+    assert is_finite(1.0)
+    assert not is_finite(math.inf)
+    assert not is_finite(math.nan)
