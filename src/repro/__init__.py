@@ -41,6 +41,7 @@ from repro.cpu import (
 )
 from repro.energy import (
     CompositeSource,
+    TraceFormatError,
     ConstantSource,
     DayNightSource,
     EnergySource,
@@ -55,6 +56,14 @@ from repro.energy import (
     ScaledSource,
     SolarStochasticSource,
     TraceSource,
+)
+from repro.faults import (
+    BiasedPredictor,
+    BlackoutSource,
+    BrownoutSource,
+    DegradedStorage,
+    OverrunWorkload,
+    SensorDropoutSource,
 )
 from repro.sched import (
     Decision,
@@ -71,8 +80,11 @@ from repro.sim import (
     DeadlineMissPolicy,
     HarvestingRtSimulator,
     SimulationConfig,
+    SimulationDiagnostics,
     SimulationResult,
+    SimulationWatchdog,
     Trace,
+    WatchdogError,
 )
 from repro.tasks import (
     AperiodicTask,
@@ -91,11 +103,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AperiodicTask",
+    "BiasedPredictor",
+    "BlackoutSource",
+    "BrownoutSource",
     "CompositeSource",
     "ConstantSource",
     "DayNightSource",
     "DeadlineMissPolicy",
     "Decision",
+    "DegradedStorage",
     "EaDvfsScheduler",
     "EdfReadyQueue",
     "EnergyOutlook",
@@ -115,13 +131,17 @@ __all__ = [
     "NonIdealStorage",
     "OraclePredictor",
     "OverflowAwareEaDvfsScheduler",
+    "OverrunWorkload",
     "PeriodicTask",
     "Processor",
     "ProfilePredictor",
     "ScaledSource",
     "Scheduler",
+    "SensorDropoutSource",
     "SimulationConfig",
+    "SimulationDiagnostics",
     "SimulationResult",
+    "SimulationWatchdog",
     "SlowdownPlan",
     "SolarStochasticSource",
     "StretchEdfScheduler",
@@ -129,7 +149,9 @@ __all__ = [
     "Task",
     "TaskSet",
     "Trace",
+    "TraceFormatError",
     "TraceSource",
+    "WatchdogError",
     "available_schedulers",
     "compute_plan",
     "generate_paper_taskset",

@@ -1,4 +1,5 @@
-"""Analysis utilities: metrics aggregation, statistics, capacity search."""
+"""Analysis utilities: metrics aggregation, statistics, capacity search,
+and (crash-tolerant) parallel sweep execution."""
 
 from repro.analysis.capacity import CapacitySearchResult, find_min_capacity
 from repro.analysis.metrics import (
@@ -15,6 +16,12 @@ from repro.analysis.schedulability import (
     full_speed_energy_demand_rate,
     max_energy_deficit,
     min_energy_demand_rate,
+)
+from repro.analysis.parallel import (
+    RunFailure,
+    RunSpec,
+    run_parallel,
+    run_parallel_salvage,
 )
 from repro.analysis.stats import (
     SummaryStats,
@@ -35,6 +42,8 @@ __all__ = [
     "CapacitySweepPoint",
     "EnergyFeasibility",
     "ReplicatedRun",
+    "RunFailure",
+    "RunSpec",
     "SummaryStats",
     "aggregate_results",
     "bootstrap_ci",
@@ -49,6 +58,8 @@ __all__ = [
     "min_energy_demand_rate",
     "miss_rate_by_task",
     "run_capacity_sweep",
+    "run_parallel",
+    "run_parallel_salvage",
     "run_replications",
     "summarize",
 ]

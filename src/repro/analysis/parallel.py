@@ -13,23 +13,36 @@ fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 Results are returned *slim* by default (job list and trace dropped)
 because shipping thousands of job objects through IPC costs more than
 the simulation itself for short runs.
+
+For long fault-injection sweeps, :func:`run_parallel_salvage` adds crash
+tolerance on top: per-round timeouts, bounded retries with exponential
+backoff, and salvage semantics — a cell that keeps failing becomes a
+:class:`RunFailure` record in the (order-preserving) result list instead
+of poisoning the whole sweep.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.experiments.common import PaperSetup
 from repro.sim.simulator import SimulationResult
 
 __all__ = [
+    "RunFailure",
     "RunSpec",
     "parallel_capacity_sweep",
     "parallel_miss_rates",
     "run_parallel",
+    "run_parallel_salvage",
 ]
 
 
@@ -79,6 +92,171 @@ def run_parallel(
         return [_execute((spec, slim)) for spec in specs]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(_execute, [(spec, slim) for spec in specs]))
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Salvage record for one sweep cell that produced no result.
+
+    Attributes
+    ----------
+    spec:
+        The cell that failed.
+    error_type:
+        Class name of the final error (``"TimeoutError"`` for timeouts).
+    message:
+        The final error message.
+    attempts:
+        How many times the cell was tried before giving up.
+    timed_out:
+        Whether the final failure was a timeout (vs. a raised error).
+    """
+
+    spec: RunSpec
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool = False
+
+
+def _failure(
+    spec: RunSpec, exc: BaseException, attempts: int, timed_out: bool = False
+) -> RunFailure:
+    return RunFailure(
+        spec=spec,
+        error_type=type(exc).__name__,
+        message=str(exc) or type(exc).__name__,
+        attempts=attempts,
+        timed_out=timed_out,
+    )
+
+
+def _pooled_round(
+    specs: Sequence[RunSpec],
+    indices: Sequence[int],
+    max_workers: Optional[int],
+    slim: bool,
+    timeout: Optional[float],
+) -> dict[int, Union[SimulationResult, RunFailure]]:
+    """Run one retry round of ``indices`` in a fresh process pool.
+
+    The pool is per-round on purpose: a worker wedged by a previous round
+    cannot poison this one, and ``shutdown(wait=False)`` after a timeout
+    abandons stuck workers instead of blocking the caller on them.
+    """
+    outcome: dict[int, Union[SimulationResult, RunFailure]] = {}
+    workers = max_workers or os.cpu_count() or 1
+    budget = None
+    if timeout is not None:
+        # The wall-clock budget covers the whole round; queueing behind a
+        # finite worker count must not count against individual cells.
+        budget = timeout * max(1, math.ceil(len(indices) / workers))
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    timed_out = False
+    try:
+        futures = {
+            i: pool.submit(_execute, (specs[i], slim)) for i in indices
+        }
+        start = time.monotonic()
+        for i, future in futures.items():
+            remaining = None
+            if budget is not None:
+                remaining = max(0.0, budget - (time.monotonic() - start))
+            try:
+                outcome[i] = future.result(timeout=remaining)
+            except FutureTimeoutError:
+                timed_out = True
+                future.cancel()
+                outcome[i] = RunFailure(
+                    spec=specs[i],
+                    error_type="TimeoutError",
+                    message=f"no result within {timeout:g}s",
+                    attempts=0,  # filled in by the caller
+                    timed_out=True,
+                )
+            except BrokenProcessPool as exc:
+                outcome[i] = _failure(specs[i], exc, attempts=0)
+            except Exception as exc:  # noqa: BLE001 - salvage any worker error
+                outcome[i] = _failure(specs[i], exc, attempts=0)
+    finally:
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+    return outcome
+
+
+def run_parallel_salvage(
+    specs: Sequence[RunSpec],
+    max_workers: Optional[int] = None,
+    slim: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+) -> list[Union[SimulationResult, RunFailure]]:
+    """Crash-tolerant twin of :func:`run_parallel`.
+
+    Every spec yields exactly one entry, in input order: its
+    :class:`~repro.sim.SimulationResult` on success, or a
+    :class:`RunFailure` record once ``1 + retries`` attempts are
+    exhausted.  A raising or hanging worker never aborts the sweep.
+
+    Parameters
+    ----------
+    timeout:
+        Per-cell wall-clock timeout in seconds.  Cells of one retry
+        round run concurrently, so the round's budget is ``timeout``
+        scaled by the queueing factor ``ceil(cells / workers)``; a cell
+        unfinished when the budget runs out is salvaged as timed out and
+        its worker abandoned.  Only enforced on pooled runs — the serial
+        path (``max_workers=1`` or a single spec) cannot preempt a
+        stuck call and documents timeouts as unsupported there.
+    retries:
+        Extra attempts per failing cell (0 = one attempt only).
+    backoff:
+        Sleep before retry round ``r`` is ``backoff * 2**(r-1)`` seconds.
+    """
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be > 0 or None, got {timeout!r}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries!r}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff!r}")
+    if not specs:
+        return []
+
+    n = len(specs)
+    serial = max_workers == 1 or n == 1
+    results: list[Optional[Union[SimulationResult, RunFailure]]] = [None] * n
+    failures: dict[int, RunFailure] = {}
+    attempts = [0] * n
+    pending = list(range(n))
+    for round_no in range(1 + retries):
+        if not pending:
+            break
+        if round_no > 0 and backoff > 0:
+            time.sleep(backoff * 2 ** (round_no - 1))
+        still_failing: list[int] = []
+        if serial:
+            for i in pending:
+                attempts[i] += 1
+                try:
+                    results[i] = _execute((specs[i], slim))
+                except Exception as exc:  # noqa: BLE001 - salvage semantics
+                    failures[i] = _failure(specs[i], exc, attempts[i])
+                    still_failing.append(i)
+        else:
+            outcome = _pooled_round(specs, pending, max_workers, slim, timeout)
+            for i in pending:
+                attempts[i] += 1
+                cell = outcome[i]
+                if isinstance(cell, RunFailure):
+                    failures[i] = dataclasses.replace(cell, attempts=attempts[i])
+                    still_failing.append(i)
+                else:
+                    results[i] = cell
+        pending = still_failing
+    for i in pending:
+        results[i] = failures[i]
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
 
 
 def parallel_capacity_sweep(

@@ -24,6 +24,8 @@ from repro.energy.source import (
 )
 from repro.energy.storage import EnergyStorage, IdealStorage, NonIdealStorage
 from repro.energy.trace_io import (
+    TraceFormatError,
+    TraceFormatWarning,
     load_power_csv,
     resample_to_quantum,
     save_power_csv,
@@ -36,6 +38,8 @@ __all__ = [
     "save_power_csv",
     "source_from_csv",
     "CompositeSource",
+    "TraceFormatError",
+    "TraceFormatWarning",
     "ConstantSource",
     "DayNightSource",
     "EnergySource",

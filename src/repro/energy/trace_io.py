@@ -5,7 +5,11 @@ the paper's introduction) log their panel output as timestamped power
 samples.  This module turns such logs into simulator sources:
 
 * :func:`load_power_csv` — read ``time,power`` rows (or a single power
-  column) into arrays;
+  column) into arrays.  Field logs are messy, so the loader has two
+  policies: ``strict=True`` (default) raises :class:`TraceFormatError`
+  with the offending line number on the first malformed row;
+  ``strict=False`` skips malformed/NaN/negative rows and reports the
+  skip count through a :class:`TraceFormatWarning`;
 * :func:`resample_to_quantum` — rebin irregular samples onto the uniform
   piecewise-constant grid the simulator needs, conserving energy
   (time-weighted averaging, not point sampling);
@@ -18,8 +22,10 @@ samples.  This module turns such logs into simulator sources:
 from __future__ import annotations
 
 import csv
+import math
+import warnings
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -27,6 +33,8 @@ from repro.energy.source import EnergySource, TraceSource
 from repro.timeutils import EPSILON
 
 __all__ = [
+    "TraceFormatError",
+    "TraceFormatWarning",
     "load_power_csv",
     "resample_to_quantum",
     "save_power_csv",
@@ -36,7 +44,61 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
-def load_power_csv(path: PathLike) -> tuple[np.ndarray, np.ndarray]:
+class TraceFormatError(ValueError):
+    """A harvest trace file is malformed (strict mode).
+
+    Subclasses :class:`ValueError` so pre-existing callers catching that
+    keep working.  ``line`` is the 1-based line number of the offending
+    row, or ``None`` for file-level problems (empty file, no samples).
+    """
+
+    def __init__(self, path: PathLike, line: Optional[int], message: str) -> None:
+        location = f"{path}, line {line}" if line is not None else f"{path}"
+        super().__init__(f"{location}: {message}")
+        self.path = str(path)
+        self.line = line
+
+
+class TraceFormatWarning(UserWarning):
+    """Rows were skipped while loading a harvest trace leniently."""
+
+
+class _RowError(Exception):
+    """Internal: one data row failed validation (message only, no path)."""
+
+
+def _parse_row(
+    row: list[str], width: int, last_time: float
+) -> tuple[float, float]:
+    """Validate one data row; returns ``(time, power)`` (time nan if 1-col).
+
+    Raises :class:`_RowError` on any problem; the caller attaches the
+    line number and decides whether to abort (strict) or skip (lenient).
+    """
+    if len(row) != width:
+        raise _RowError(f"expected {width} columns, found {len(row)}")
+    try:
+        values = [float(cell) for cell in row]
+    except ValueError:
+        raise _RowError(f"non-numeric value in row {row!r}") from None
+    power = values[-1]
+    if power < 0 or not math.isfinite(power):
+        raise _RowError(f"powers must be finite and >= 0, got {power!r}")
+    if width == 1:
+        return math.nan, power
+    time = values[0]
+    if time < 0 or not math.isfinite(time):
+        raise _RowError(f"times must be finite and >= 0, got {time!r}")
+    if time <= last_time:
+        raise _RowError(
+            f"times must be strictly increasing, got {time!r} after {last_time!r}"
+        )
+    return time, power
+
+
+def load_power_csv(
+    path: PathLike, strict: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
     """Read a harvest log CSV into ``(times, powers)`` arrays.
 
     Accepts two layouts (header optional, detected by non-numeric first
@@ -45,14 +107,22 @@ def load_power_csv(path: PathLike) -> tuple[np.ndarray, np.ndarray]:
     * two columns ``time,power`` — timestamps must be strictly
       increasing and non-negative;
     * one column ``power`` — implied unit-spaced timestamps 0, 1, 2, ...
+
+    With ``strict=True`` (default) any malformed row — wrong width,
+    non-numeric, NaN/negative power, invalid timestamp — raises
+    :class:`TraceFormatError` naming the line.  With ``strict=False``
+    such rows are skipped (a non-monotonic timestamp drops that row, not
+    the ones after it) and one :class:`TraceFormatWarning` summarizing
+    the skips is emitted at the end.
     """
-    rows: list[list[str]] = []
+    rows: list[tuple[int, list[str]]] = []
     with open(path, newline="") as handle:
-        for row in csv.reader(handle):
+        reader = csv.reader(handle)
+        for row in reader:
             if row and any(cell.strip() for cell in row):
-                rows.append([cell.strip() for cell in row])
+                rows.append((reader.line_num, [cell.strip() for cell in row]))
     if not rows:
-        raise ValueError(f"{path}: empty harvest trace")
+        raise TraceFormatError(path, None, "empty harvest trace")
 
     def _numeric(row: list[str]) -> bool:
         try:
@@ -61,30 +131,54 @@ def load_power_csv(path: PathLike) -> tuple[np.ndarray, np.ndarray]:
         except ValueError:
             return False
 
-    if not _numeric(rows[0]):
+    if not _numeric(rows[0][1]):
         rows = rows[1:]  # drop header
         if not rows:
-            raise ValueError(f"{path}: only a header, no samples")
+            raise TraceFormatError(path, None, "only a header, no samples")
 
-    widths = {len(row) for row in rows}
-    if widths == {1}:
-        powers = np.asarray([float(r[0]) for r in rows])
-        times = np.arange(len(powers), dtype=float)
-    elif widths == {2}:
-        times = np.asarray([float(r[0]) for r in rows])
-        powers = np.asarray([float(r[1]) for r in rows])
-    else:
-        raise ValueError(
-            f"{path}: expected 1 or 2 columns, found widths {sorted(widths)}"
+    # The first row that parses at all fixes the layout width; rows that
+    # cannot even fix a width (3+ columns up front) are judged per policy.
+    width = len(rows[0][1])
+    if width not in (1, 2):
+        raise TraceFormatError(
+            path, rows[0][0], f"expected 1 or 2 columns, found {width}"
         )
 
-    if np.any(powers < 0) or not np.all(np.isfinite(powers)):
-        raise ValueError(f"{path}: powers must be finite and >= 0")
-    if np.any(times < 0) or not np.all(np.isfinite(times)):
-        raise ValueError(f"{path}: times must be finite and >= 0")
-    if np.any(np.diff(times) <= 0):
-        raise ValueError(f"{path}: times must be strictly increasing")
-    return times, powers
+    times: list[float] = []
+    powers: list[float] = []
+    skipped: list[tuple[int, str]] = []
+    last_time = -math.inf
+    for line, row in rows:
+        try:
+            time, power = _parse_row(row, width, last_time)
+        except _RowError as exc:
+            if strict:
+                raise TraceFormatError(path, line, str(exc)) from None
+            skipped.append((line, str(exc)))
+            continue
+        times.append(time)
+        powers.append(power)
+        if width == 2:
+            last_time = time
+    if not powers:
+        raise TraceFormatError(path, None, "no valid samples in harvest trace")
+    if skipped:
+        preview = "; ".join(f"line {ln}: {msg}" for ln, msg in skipped[:5])
+        if len(skipped) > 5:
+            preview += "; ..."
+        warnings.warn(
+            TraceFormatWarning(
+                f"{path}: skipped {len(skipped)} malformed row(s) ({preview})"
+            ),
+            stacklevel=2,
+        )
+
+    power_array = np.asarray(powers, dtype=float)
+    if width == 1:
+        time_array = np.arange(len(powers), dtype=float)
+    else:
+        time_array = np.asarray(times, dtype=float)
+    return time_array, power_array
 
 
 def resample_to_quantum(
@@ -135,9 +229,13 @@ def source_from_csv(
     path: PathLike,
     quantum: float = 1.0,
     cyclic: bool = False,
+    strict: bool = True,
 ) -> TraceSource:
-    """Build a :class:`TraceSource` straight from a harvest log CSV."""
-    times, powers = load_power_csv(path)
+    """Build a :class:`TraceSource` straight from a harvest log CSV.
+
+    ``strict`` is passed through to :func:`load_power_csv`.
+    """
+    times, powers = load_power_csv(path, strict=strict)
     return TraceSource(
         resample_to_quantum(times, powers, quantum=quantum),
         quantum=quantum,

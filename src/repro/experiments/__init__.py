@@ -39,6 +39,11 @@ from repro.experiments.motivation import (
     run_motivational_example,
     run_stretch_example,
 )
+from repro.experiments.resilience import (
+    ResilienceResult,
+    ResilienceSetup,
+    run_resilience,
+)
 from repro.experiments.table1 import Table1Result, run_table1
 
 __all__ = [
@@ -50,6 +55,8 @@ __all__ = [
     "PAPER_CAPACITIES",
     "PaperSetup",
     "RemainingEnergyResult",
+    "ResilienceResult",
+    "ResilienceSetup",
     "Table1Result",
     "replications",
     "run_aet_ablation",
@@ -66,6 +73,7 @@ __all__ = [
     "run_overflow_aware_ablation",
     "run_predictor_ablation",
     "run_rectification_ablation",
+    "run_resilience",
     "run_stretch_example",
     "run_switch_overhead_ablation",
     "run_table1",
@@ -109,6 +117,7 @@ EXPERIMENTS: dict[str, Callable[[], Any]] = {
     "ablation-weather": run_weather_ablation,
     "ablation-overflow-aware": run_overflow_aware_ablation,
     "ablation-aet": run_aet_ablation,
+    "resilience": run_resilience,
 }
 
 

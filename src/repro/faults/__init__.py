@@ -1,0 +1,47 @@
+"""Fault injection for resilience studies.
+
+The paper's evaluation exercises well-behaved inputs only: smooth harvest
+profiles, jobs that never exceed their WCET, a storage that keeps its
+nameplate capacity forever.  Real deployments see none of that — panels
+get shaded, batteries age, execution times overrun.  This package provides
+*composable, seeded, deterministic* fault wrappers around the clean
+models, so every experiment can be re-run under degraded conditions
+without touching the substrate:
+
+* :class:`BlackoutSource` / :class:`BrownoutSource` /
+  :class:`SensorDropoutSource` — decorate any
+  :class:`~repro.energy.EnergySource` with harvest outages;
+* :class:`DegradedStorage` — wraps any
+  :class:`~repro.energy.EnergyStorage` with capacity fade and leakage
+  spikes;
+* :class:`BiasedPredictor` — injects systematic over/under-prediction
+  into any :class:`~repro.energy.HarvestPredictor`;
+* :class:`OverrunWorkload` — stretches actual execution times beyond the
+  WCET with a configurable probability.
+
+All wrappers draw their randomness from a private
+``numpy.random.default_rng(seed)`` stream extended lazily in index order,
+so runs with equal seeds are bit-for-bit identical regardless of query
+order (the same discipline as :class:`~repro.energy.SolarStochasticSource`).
+
+See ``docs/resilience.md`` for the fault model and the ``resilience``
+experiment that uses it.
+"""
+
+from repro.faults.predictor import BiasedPredictor
+from repro.faults.sources import (
+    BlackoutSource,
+    BrownoutSource,
+    SensorDropoutSource,
+)
+from repro.faults.storage import DegradedStorage
+from repro.faults.workload import OverrunWorkload
+
+__all__ = [
+    "BiasedPredictor",
+    "BlackoutSource",
+    "BrownoutSource",
+    "DegradedStorage",
+    "OverrunWorkload",
+    "SensorDropoutSource",
+]

@@ -1,0 +1,73 @@
+"""Prediction-side fault injector: systematic forecast bias.
+
+The paper's schedulers trust the predictor's ``ÊS(t, D)`` when planning
+slowdowns.  :class:`BiasedPredictor` wraps any predictor with an affine
+distortion so experiments can measure how sensitive each scheduler is to
+optimistic (``gain > 1``) or pessimistic (``gain < 1``) forecasts —
+e.g. a profile learned before a panel degraded, or a miscalibrated
+harvest sensor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.energy.predictor import HarvestPredictor
+
+__all__ = ["BiasedPredictor"]
+
+
+class BiasedPredictor(HarvestPredictor):
+    """Affine distortion ``gain * prediction + offset_power * dt`` of a predictor.
+
+    The result is clamped at zero so a pessimistic bias cannot produce a
+    negative energy forecast.  Observations pass through unchanged — the
+    inner predictor keeps learning from the *true* harvest, so the bias
+    stays systematic instead of being learned away.
+    """
+
+    def __init__(
+        self,
+        inner: HarvestPredictor,
+        gain: float = 1.0,
+        offset_power: float = 0.0,
+    ) -> None:
+        if gain < 0 or not math.isfinite(gain):
+            raise ValueError(f"gain must be finite and >= 0, got {gain!r}")
+        if not math.isfinite(offset_power):
+            raise ValueError(f"offset_power must be finite, got {offset_power!r}")
+        self._inner = inner
+        self._gain = float(gain)
+        self._offset = float(offset_power)
+
+    @property
+    def inner(self) -> HarvestPredictor:
+        """The wrapped unbiased predictor."""
+        return self._inner
+
+    @property
+    def gain(self) -> float:
+        """Multiplicative bias on the inner prediction."""
+        return self._gain
+
+    @property
+    def offset_power(self) -> float:
+        """Additive bias, expressed as a constant power (may be negative)."""
+        return self._offset
+
+    def predict_energy(self, t0: float, t1: float) -> float:
+        value = self._inner.predict_energy(t0, t1)
+        biased = self._gain * value + self._offset * max(0.0, t1 - t0)
+        return max(0.0, biased)
+
+    def observe(self, t0: float, t1: float, energy: float) -> None:
+        self._inner.observe(t0, t1, energy)
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"BiasedPredictor({self._inner!r}, gain={self._gain!r}, "
+            f"offset_power={self._offset!r})"
+        )

@@ -1,0 +1,297 @@
+"""Harvest-side fault injectors.
+
+Each wrapper multiplies the inner source's output by a per-quantum
+attenuation factor in ``[0, 1]`` drawn from a seeded RNG:
+
+* :class:`BlackoutSource` — total outages (factor 0) whose start is a
+  per-quantum Bernoulli trial and whose length is uniform over a
+  configurable integer range, modeling shading, panel faults, or
+  harvester disconnects;
+* :class:`BrownoutSource` — the same outage process but attenuating to a
+  nonzero ``brownout_factor`` (dust, partial shading, converter derating);
+* :class:`SensorDropoutSource` — i.i.d. per-quantum dropouts (factor 0),
+  modeling a flaky harvester interface that loses individual intervals.
+
+The factor sequence is extended lazily *in index order* from a private
+RNG, so queries at arbitrary times (e.g. an oracle predictor integrating
+the future) are deterministic for a fixed seed.  Output stays
+piecewise-constant: a wrapper's :meth:`~repro.energy.EnergySource.power`
+changes only at its own quantum grid or at the inner source's boundaries,
+and :meth:`~repro.energy.EnergySource.next_boundary` reports whichever
+comes first, so the simulator's exact segment integrals remain exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.energy.source import EnergySource
+from repro.timeutils import EPSILON
+
+__all__ = ["BlackoutSource", "BrownoutSource", "SensorDropoutSource"]
+
+
+class _FaultFactorSource(EnergySource):
+    """Base for sources applying a seeded per-quantum attenuation factor."""
+
+    def __init__(self, inner: EnergySource, seed: int, quantum: float) -> None:
+        if quantum <= 0 or not math.isfinite(quantum):
+            raise ValueError(f"quantum must be finite and > 0, got {quantum!r}")
+        self._inner = inner
+        self._seed = int(seed)
+        self._quantum = float(quantum)
+        self._rng = np.random.default_rng(self._seed)
+        self._factors: list[float] = []
+
+    @property
+    def inner(self) -> EnergySource:
+        """The wrapped fault-free source."""
+        return self._inner
+
+    @property
+    def seed(self) -> int:
+        """Seed of the private fault RNG."""
+        return self._seed
+
+    @property
+    def quantum(self) -> float:
+        """Length of one attenuation interval."""
+        return self._quantum
+
+    def _index(self, t: float) -> int:
+        if t < -EPSILON or math.isnan(t):
+            raise ValueError(f"source time must be >= 0, got {t!r}")
+        # Same boundary nudge as the quantized sources: a query at (or with
+        # float noise just below) a boundary lands in the quantum starting
+        # there.
+        return max(0, int(math.floor((t + EPSILON) / self._quantum)))
+
+    def _extend(self) -> None:
+        """Append the factor for the next quantum (consumes RNG in order)."""
+        raise NotImplementedError  # pragma: no cover - subclasses override
+
+    def _factor(self, index: int) -> float:
+        while len(self._factors) <= index:
+            self._extend()
+        return self._factors[index]
+
+    def _mean_factor(self) -> float:
+        """Long-run mean of the attenuation factor."""
+        raise NotImplementedError  # pragma: no cover - subclasses override
+
+    def attenuation_at(self, t: float) -> float:
+        """The attenuation factor applied during the quantum containing ``t``."""
+        return self._factor(self._index(t))
+
+    def power(self, t: float) -> float:
+        return self._inner.power(t) * self._factor(self._index(t))
+
+    def next_boundary(self, t: float) -> float:
+        own = (self._index(t) + 1) * self._quantum
+        return min(own, self._inner.next_boundary(t))
+
+    def mean_power(self) -> float:
+        """Inner mean power scaled by the stationary mean attenuation.
+
+        Exact when the inner power and the fault process are independent,
+        which holds by construction (separate RNG streams).
+        """
+        return self._inner.mean_power() * self._mean_factor()
+
+
+class _OutageSource(_FaultFactorSource):
+    """Shared outage machine: Bernoulli starts, uniform integer durations.
+
+    While no outage is active, each quantum starts one with probability
+    ``start_probability``; an outage then attenuates ``duration`` quanta
+    (inclusive of the starting one) with ``duration`` uniform on
+    ``[min_duration, max_duration]``.
+    """
+
+    def __init__(
+        self,
+        inner: EnergySource,
+        seed: int,
+        start_probability: float,
+        min_duration: int,
+        max_duration: int,
+        attenuation: float,
+        quantum: float,
+    ) -> None:
+        super().__init__(inner, seed, quantum)
+        if not 0.0 <= start_probability <= 1.0:
+            raise ValueError(
+                f"start_probability must lie in [0, 1], got {start_probability!r}"
+            )
+        min_duration = int(min_duration)
+        max_duration = int(max_duration)
+        if not 1 <= min_duration <= max_duration:
+            raise ValueError(
+                "outage durations must satisfy 1 <= min <= max, got "
+                f"{min_duration!r}..{max_duration!r}"
+            )
+        if not 0.0 <= attenuation <= 1.0:
+            raise ValueError(
+                f"attenuation must lie in [0, 1], got {attenuation!r}"
+            )
+        self._p = float(start_probability)
+        self._min_d = min_duration
+        self._max_d = max_duration
+        self._attenuation = float(attenuation)
+        self._outage_left = 0
+
+    @property
+    def start_probability(self) -> float:
+        """Per-quantum probability of starting an outage when none is active."""
+        return self._p
+
+    @property
+    def duration_range(self) -> tuple[int, int]:
+        """Inclusive ``(min, max)`` outage length in quanta."""
+        return (self._min_d, self._max_d)
+
+    def outage_fraction(self) -> float:
+        """Stationary fraction of time spent in an outage.
+
+        Renewal argument: a cycle is a geometric run of ``(1-p)/p`` normal
+        quanta followed by an outage of mean length ``m = (min+max)/2``,
+        so the outage fraction is ``p*m / (p*m + 1 - p)``.
+        """
+        if self._p == 0.0:
+            return 0.0
+        m = 0.5 * (self._min_d + self._max_d)
+        return self._p * m / (self._p * m + 1.0 - self._p)
+
+    def _extend(self) -> None:
+        if self._outage_left > 0:
+            self._outage_left -= 1
+            self._factors.append(self._attenuation)
+            return
+        if float(self._rng.random()) < self._p:
+            # The starting quantum counts toward the outage duration.
+            self._outage_left = int(self._rng.integers(self._min_d, self._max_d + 1)) - 1
+            self._factors.append(self._attenuation)
+        else:
+            self._factors.append(1.0)
+
+    def _mean_factor(self) -> float:
+        return 1.0 - self.outage_fraction() * (1.0 - self._attenuation)
+
+
+class BlackoutSource(_OutageSource):
+    """Total harvest outages: output drops to zero for whole quanta.
+
+    Parameters
+    ----------
+    inner:
+        The fault-free source to decorate.
+    seed:
+        Seed of the private outage RNG; equal seeds give identical outage
+        schedules regardless of the inner source.
+    start_probability:
+        Per-quantum probability of a new outage starting while none is
+        active (default 0.02 — roughly one outage per 50 clear quanta).
+    min_duration, max_duration:
+        Inclusive range of outage lengths in quanta.
+    quantum:
+        Length of one outage-schedule interval (default 1 time unit).
+    """
+
+    def __init__(
+        self,
+        inner: EnergySource,
+        seed: int = 0,
+        start_probability: float = 0.02,
+        min_duration: int = 5,
+        max_duration: int = 30,
+        quantum: float = 1.0,
+    ) -> None:
+        super().__init__(
+            inner, seed, start_probability, min_duration, max_duration,
+            attenuation=0.0, quantum=quantum,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlackoutSource({self._inner!r}, seed={self._seed}, "
+            f"start_probability={self._p!r}, "
+            f"duration={self._min_d}..{self._max_d})"
+        )
+
+
+class BrownoutSource(_OutageSource):
+    """Partial harvest outages: output attenuated to ``brownout_factor``.
+
+    Same outage process as :class:`BlackoutSource`, but during an outage
+    the inner power is multiplied by ``brownout_factor`` instead of
+    dropping to zero — dust, partial shading, or converter derating.
+    """
+
+    def __init__(
+        self,
+        inner: EnergySource,
+        seed: int = 0,
+        start_probability: float = 0.02,
+        min_duration: int = 5,
+        max_duration: int = 30,
+        brownout_factor: float = 0.3,
+        quantum: float = 1.0,
+    ) -> None:
+        super().__init__(
+            inner, seed, start_probability, min_duration, max_duration,
+            attenuation=brownout_factor, quantum=quantum,
+        )
+
+    @property
+    def brownout_factor(self) -> float:
+        """Attenuation applied while an outage is active."""
+        return self._attenuation
+
+    def __repr__(self) -> str:
+        return (
+            f"BrownoutSource({self._inner!r}, seed={self._seed}, "
+            f"start_probability={self._p!r}, factor={self._attenuation!r})"
+        )
+
+
+class SensorDropoutSource(_FaultFactorSource):
+    """I.i.d. per-quantum dropouts: each quantum is lost independently.
+
+    Unlike the correlated outages of :class:`BlackoutSource`, every
+    quantum drops to zero independently with ``drop_probability`` —
+    the harvest-side analogue of a flaky sensor interface losing
+    individual samples.
+    """
+
+    def __init__(
+        self,
+        inner: EnergySource,
+        seed: int = 0,
+        drop_probability: float = 0.05,
+        quantum: float = 1.0,
+    ) -> None:
+        super().__init__(inner, seed, quantum)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must lie in [0, 1], got {drop_probability!r}"
+            )
+        self._drop_p = float(drop_probability)
+
+    @property
+    def drop_probability(self) -> float:
+        """Independent per-quantum loss probability."""
+        return self._drop_p
+
+    def _extend(self) -> None:
+        self._factors.append(0.0 if float(self._rng.random()) < self._drop_p else 1.0)
+
+    def _mean_factor(self) -> float:
+        return 1.0 - self._drop_p
+
+    def __repr__(self) -> str:
+        return (
+            f"SensorDropoutSource({self._inner!r}, seed={self._seed}, "
+            f"drop_probability={self._drop_p!r})"
+        )

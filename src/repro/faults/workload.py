@@ -1,0 +1,113 @@
+"""Workload-side fault injector: execution-time overruns.
+
+Schedulers plan against the WCET, but real workloads occasionally exceed
+it — mis-measured WCETs, cache pathologies, input-dependent blowups.
+:class:`OverrunWorkload` wraps a :class:`~repro.tasks.TaskSet` and, with
+a configurable probability per job, stretches the job's *actual* demand
+by a uniform factor (possibly past the WCET).  Schedulers still see the
+original ``remaining_work`` bound — exactly the information asymmetry an
+online system faces — while the simulator executes the true, stretched
+demand.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.tasks.job import Job
+from repro.tasks.task import TaskSet
+
+__all__ = ["OverrunWorkload"]
+
+
+class OverrunWorkload(TaskSet):
+    """TaskSet whose jobs sporadically overrun their nominal demand.
+
+    Parameters
+    ----------
+    inner:
+        The fault-free task set; its tasks are shared, not copied.
+    seed:
+        Seed of the private overrun RNG.  The stretch decisions are drawn
+        in the deterministic job order of :meth:`~repro.tasks.TaskSet.jobs`
+        (release, deadline, task name), so equal seeds give identical
+        overruns for identical horizons.
+    probability:
+        Per-job probability of an overrun.
+    min_stretch, max_stretch:
+        Inclusive range of the uniform stretch factor applied to the
+        job's actual demand (``>= 1``; the result may exceed the WCET).
+    """
+
+    def __init__(
+        self,
+        inner: TaskSet,
+        seed: int = 0,
+        probability: float = 0.1,
+        min_stretch: float = 1.05,
+        max_stretch: float = 1.5,
+    ) -> None:
+        super().__init__(inner.tasks)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {probability!r}")
+        for name, value in (("min_stretch", min_stretch), ("max_stretch", max_stretch)):
+            if value < 1.0 or not math.isfinite(value):
+                raise ValueError(f"{name} must be finite and >= 1, got {value!r}")
+        if max_stretch < min_stretch:
+            raise ValueError(
+                f"max_stretch {max_stretch!r} must be >= min_stretch {min_stretch!r}"
+            )
+        self._seed = int(seed)
+        self._probability = float(probability)
+        self._min_stretch = float(min_stretch)
+        self._max_stretch = float(max_stretch)
+
+    @property
+    def seed(self) -> int:
+        """Seed of the private overrun RNG."""
+        return self._seed
+
+    @property
+    def probability(self) -> float:
+        """Per-job overrun probability."""
+        return self._probability
+
+    @property
+    def stretch_range(self) -> tuple[float, float]:
+        """Inclusive ``(min, max)`` uniform stretch factor."""
+        return (self._min_stretch, self._max_stretch)
+
+    def jobs(self, horizon: float, rng=None) -> list[Job]:
+        """The inner jobs with seeded overruns applied.
+
+        Note that ``scaled_to`` returns a plain (fault-free)
+        :class:`~repro.tasks.TaskSet`; rewrap its result to keep overruns.
+        """
+        base = super().jobs(horizon, rng)
+        fault_rng = np.random.default_rng(self._seed)
+        out: list[Job] = []
+        for job in base:
+            if float(fault_rng.random()) < self._probability:
+                stretch = float(
+                    fault_rng.uniform(self._min_stretch, self._max_stretch)
+                )
+                job = Job(
+                    job.task,
+                    job.release,
+                    job.absolute_deadline,
+                    job.wcet,
+                    index=job.index,
+                    actual_work=job.actual_work * stretch,
+                    allow_overrun=True,
+                )
+            out.append(job)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"OverrunWorkload(n={len(self.tasks)}, seed={self._seed}, "
+            f"probability={self._probability!r}, "
+            f"stretch={self._min_stretch!r}..{self._max_stretch!r})"
+        )

@@ -7,18 +7,52 @@ from typing import Callable
 from repro.cpu.dvfs import FrequencyScale
 from repro.sched.base import Scheduler
 
-__all__ = ["available_schedulers", "make_scheduler", "register_scheduler"]
+__all__ = [
+    "available_schedulers",
+    "make_scheduler",
+    "register_scheduler",
+    "unregister_scheduler",
+]
 
 _FACTORIES: dict[str, Callable[[FrequencyScale], Scheduler]] = {}
+_BUILTINS_LOADED = False
 
 
 def register_scheduler(
     name: str, factory: Callable[[FrequencyScale], Scheduler]
 ) -> None:
-    """Register a scheduler factory under a unique name."""
+    """Register a scheduler factory under a unique name.
+
+    Raises :class:`ValueError` for an empty/non-string name, or a name
+    already taken (by a built-in or a previous registration); the error
+    lists the currently registered names.
+    """
+    _ensure_builtins()
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"scheduler name must be a non-empty string, got {name!r}"
+        )
     if name in _FACTORIES:
-        raise ValueError(f"scheduler {name!r} is already registered")
+        raise ValueError(
+            f"scheduler {name!r} is already registered; "
+            f"registered names: {', '.join(sorted(_FACTORIES))}"
+        )
     _FACTORIES[name] = factory
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove a previously registered scheduler (built-ins included).
+
+    Raises :class:`ValueError` for an unknown name, listing the
+    registered ones.
+    """
+    _ensure_builtins()
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown scheduler {name!r}; "
+            f"available: {', '.join(sorted(_FACTORIES))}"
+        )
+    del _FACTORIES[name]
 
 
 def available_schedulers() -> tuple[str, ...]:
@@ -28,7 +62,11 @@ def available_schedulers() -> tuple[str, ...]:
 
 
 def make_scheduler(name: str, scale: FrequencyScale) -> Scheduler:
-    """Instantiate a registered scheduler for the given frequency scale."""
+    """Instantiate a registered scheduler for the given frequency scale.
+
+    Raises :class:`ValueError` for an unknown name, listing the
+    registered ones.
+    """
     _ensure_builtins()
     try:
         factory = _FACTORIES[name]
@@ -40,20 +78,26 @@ def make_scheduler(name: str, scale: FrequencyScale) -> Scheduler:
 
 
 def _ensure_builtins() -> None:
-    """Lazily register the built-in policies (avoids import cycles)."""
-    if _FACTORIES:
+    """Lazily register the built-in policies (avoids import cycles).
+
+    Guarded by a dedicated flag rather than ``_FACTORIES`` being
+    non-empty: a custom registration arriving before the first lookup
+    must not suppress the built-ins.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
         return
+    _BUILTINS_LOADED = True
     from repro.core.ea_dvfs import EaDvfsScheduler
     from repro.sched.edf import GreedyEdfScheduler, StretchEdfScheduler
     from repro.sched.extensions import OverflowAwareEaDvfsScheduler
     from repro.sched.lsa import LazyScheduler
 
-    _FACTORIES.update(
-        {
-            EaDvfsScheduler.name: EaDvfsScheduler,
-            LazyScheduler.name: LazyScheduler,
-            GreedyEdfScheduler.name: GreedyEdfScheduler,
-            StretchEdfScheduler.name: StretchEdfScheduler,
-            OverflowAwareEaDvfsScheduler.name: OverflowAwareEaDvfsScheduler,
-        }
-    )
+    for cls in (
+        EaDvfsScheduler,
+        LazyScheduler,
+        GreedyEdfScheduler,
+        StretchEdfScheduler,
+        OverflowAwareEaDvfsScheduler,
+    ):
+        _FACTORIES.setdefault(cls.name, cls)

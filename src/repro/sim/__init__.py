@@ -7,6 +7,9 @@
 :mod:`repro.sim.simulator`
     The energy-harvesting real-time system simulator that binds the energy
     subsystem, the CPU model and a scheduler together.
+:mod:`repro.sim.watchdog`
+    Opt-in invariant auditing (energy conservation, causality, stall
+    progress) with structured diagnostics on abort.
 """
 
 from repro.sim.engine import EventQueue, ScheduledEvent, SimulationClock
@@ -22,6 +25,11 @@ from repro.sim.simulator import (
     SimulationResult,
 )
 from repro.sim.tracing import Trace, TraceRecord
+from repro.sim.watchdog import (
+    SimulationDiagnostics,
+    SimulationWatchdog,
+    WatchdogError,
+)
 
 __all__ = [
     "DeadlineMissPolicy",
@@ -31,9 +39,12 @@ __all__ = [
     "ScheduledEvent",
     "SimulationClock",
     "SimulationConfig",
+    "SimulationDiagnostics",
     "SimulationResult",
+    "SimulationWatchdog",
     "Trace",
     "TraceRecord",
+    "WatchdogError",
     "render_gantt",
     "schedule_intervals",
 ]

@@ -45,9 +45,14 @@ class SimulationClock:
         """Move the clock forward to ``t``.
 
         Tiny backwards drift (within :data:`~repro.timeutils.EPSILON`) is
-        snapped to the current time; anything larger raises
-        :class:`ValueError`.
+        snapped to the current time — and *only* snapped, never stored, so
+        repeated sub-EPSILON drifts cannot accumulate into a real
+        regression.  Anything larger raises :class:`ValueError`, as does a
+        NaN target (which would otherwise fail every comparison and
+        masquerade as a backwards move).
         """
+        if math.isnan(t):
+            raise ValueError("clock target must not be NaN")
         if t >= self._now:
             self._now = t
             return

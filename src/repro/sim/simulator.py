@@ -54,6 +54,7 @@ from repro.energy.storage import EnergyStorage
 from repro.sched.base import Decision, EnergyOutlook, Scheduler
 from repro.sim.engine import EventQueue
 from repro.sim.tracing import Trace, TraceKind
+from repro.sim.watchdog import SimulationWatchdog
 from repro.tasks.job import Job, JobState
 from repro.tasks.queue import EdfReadyQueue
 from repro.tasks.task import TaskSet
@@ -105,6 +106,15 @@ class SimulationConfig:
     aet_seed: Optional[int] = None
     #: Safety valve against runaway event loops.
     max_iterations: int = 50_000_000
+    #: Audit every segment with a :class:`~repro.sim.watchdog.SimulationWatchdog`
+    #: (energy conservation, causality, stall progress) and abort with a
+    #: structured :class:`~repro.sim.watchdog.WatchdogError` on violation.
+    watchdog: bool = False
+    #: Abort after this many stalls without a job completion (requires
+    #: ``watchdog=True``; ``None`` disables the stall-progress check).
+    watchdog_max_stalls: Optional[int] = None
+    #: Relative tolerance of the watchdog's energy checks.
+    watchdog_energy_tolerance: float = 1e-6
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.horizon) or self.horizon <= 0:
@@ -126,6 +136,21 @@ class SimulationConfig:
             )
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if self.watchdog_max_stalls is not None:
+            if not self.watchdog:
+                raise ValueError("watchdog_max_stalls requires watchdog=True")
+            if self.watchdog_max_stalls < 1:
+                raise ValueError(
+                    "watchdog_max_stalls must be >= 1 or None, got "
+                    f"{self.watchdog_max_stalls!r}"
+                )
+        if self.watchdog_energy_tolerance <= 0 or not math.isfinite(
+            self.watchdog_energy_tolerance
+        ):
+            raise ValueError(
+                "watchdog_energy_tolerance must be finite and > 0, got "
+                f"{self.watchdog_energy_tolerance!r}"
+            )
 
 
 @dataclass
@@ -235,6 +260,12 @@ class HarvestingRtSimulator:
                 )
         self._config = config or SimulationConfig()
         self._outlook = EnergyOutlook(self._storage, self._predictor)
+        self._watchdog: Optional[SimulationWatchdog] = None
+        if self._config.watchdog:
+            self._watchdog = SimulationWatchdog(
+                max_consecutive_stalls=self._config.watchdog_max_stalls,
+                energy_tolerance=self._config.watchdog_energy_tolerance,
+            )
 
         self._events = EventQueue()
         self._ready = EdfReadyQueue()
@@ -295,11 +326,21 @@ class HarvestingRtSimulator:
             advanced = self._advance_to(seg_end)
             stagnant = 0 if advanced else stagnant + 1
             if stagnant > 1000:
+                if self._watchdog is not None:
+                    raise self._watchdog.abort(
+                        self._t, "simulator made no progress (stagnant loop)"
+                    )
                 raise RuntimeError(
                     f"simulator made no progress at t={self._t!r} "
                     f"(decision={self._decision!r})"
                 )
         else:
+            if self._watchdog is not None:
+                raise self._watchdog.abort(
+                    self._t,
+                    "simulation exceeded max_iterations="
+                    f"{self._config.max_iterations}",
+                )
             raise RuntimeError(
                 f"simulation exceeded max_iterations="
                 f"{self._config.max_iterations} (t={self._t!r})"
@@ -388,6 +429,8 @@ class HarvestingRtSimulator:
         self._need_decision = False
         decision = self._scheduler.decide(self._t, self._ready, self._outlook)
         self._validate_decision(decision)
+        if self._watchdog is not None:
+            self._watchdog.observe_decision(self._t, decision)
         self._apply_decision(decision)
 
     def _validate_decision(self, decision: Decision) -> None:
@@ -538,7 +581,11 @@ class HarvestingRtSimulator:
             # Split the draw at the depletion instant if it falls inside
             # (can only happen from float noise, since _segment_end caps
             # at depletion; stay defensive).
-            self._storage.advance(duration, harvest, draw)
+            segment = self._storage.advance(duration, harvest, draw)
+            if self._watchdog is not None:
+                self._watchdog.observe_segment(
+                    t, end, harvest, draw, segment, self._storage
+                )
             self._predictor.observe(t, end, harvest * duration)
             self._processor.account_time(duration)
             if self._running is not None and self._level is not None:
@@ -574,6 +621,8 @@ class HarvestingRtSimulator:
                 job.mark_completed(t)
                 self._ready.remove(job)
                 self._completed_count += 1
+                if self._watchdog is not None:
+                    self._watchdog.observe_completion()
                 self._trace.record(
                     t,
                     TraceKind.JOB_COMPLETE,
@@ -624,6 +673,8 @@ class HarvestingRtSimulator:
             resume_at=resume,
         )
         self._stall_count += 1
+        if self._watchdog is not None:
+            self._watchdog.observe_stall(self._t)
         self._stall_started = self._t
         self._stalled_until = resume
         # The job goes back to waiting (it stays in the ready queue).

@@ -1,0 +1,257 @@
+"""Opt-in simulation invariant checker.
+
+With fault injection in the loop (``repro.faults``), a buggy wrapper can
+violate the contracts the simulator's analytic segment machinery depends
+on — conjure energy from nowhere, report draws that never happened, or
+trap the run in an endless stall loop.  The watchdog audits every
+segment against physical and causal invariants and aborts with a
+structured :class:`SimulationDiagnostics` report instead of letting the
+run hang or silently corrupt its metrics:
+
+* **energy conservation** — per segment, the accounted energy
+  (``stored_delta + drawn + leaked + overflow``) must not exceed the
+  harvested energy plus tolerance.  An *inequality*, not an equality:
+  conversion losses of non-ideal storages are legitimately unitemized.
+* **draw accounting** — the energy the storage reports delivering must
+  match ``draw_power * duration``.
+* **level bounds** — the stored level must stay within
+  ``[0, capacity]`` (plus tolerance).
+* **causality** — segments must not run backwards, and scheduler
+  decisions must not ask to be reconsidered (or switch to full speed)
+  in the past.
+* **stall progress** — at most ``max_consecutive_stalls`` stalls may
+  occur without an intervening job completion.
+
+Enable it via ``SimulationConfig(watchdog=True)``; see
+``docs/resilience.md`` for the invariant list and rationale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.energy.storage import EnergyStorage, SegmentResult
+from repro.sched.base import Decision
+from repro.timeutils import EPSILON
+
+__all__ = ["SimulationDiagnostics", "SimulationWatchdog", "WatchdogError"]
+
+
+@dataclass(frozen=True)
+class SimulationDiagnostics:
+    """Snapshot of simulator health at the instant a watchdog check fired.
+
+    Attributes
+    ----------
+    violation:
+        Human-readable description of the violated invariant (empty for a
+        healthy snapshot).
+    time:
+        Simulation time of the check.
+    segments_checked:
+        Segments audited so far.
+    stall_count, consecutive_stalls:
+        Total stalls observed, and stalls since the last job completion.
+    completed_count:
+        Job completions observed.
+    stored, capacity:
+        Storage level and capacity at the check.
+    detail:
+        Violation-specific numbers (e.g. the two sides of a failed
+        conservation inequality).
+    """
+
+    violation: str
+    time: float
+    segments_checked: int
+    stall_count: int
+    consecutive_stalls: int
+    completed_count: int
+    stored: float
+    capacity: float
+    detail: dict[str, float] = field(default_factory=dict)
+
+    def format_text(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"watchdog: {self.violation or 'ok'}",
+            f"  at t={self.time:g} after {self.segments_checked} segments",
+            (
+                f"  stalls={self.stall_count} "
+                f"(consecutive={self.consecutive_stalls}) "
+                f"completions={self.completed_count}"
+            ),
+            f"  storage: stored={self.stored:g} capacity={self.capacity:g}",
+        ]
+        for key in sorted(self.detail):
+            lines.append(f"  {key}={self.detail[key]:g}")
+        return "\n".join(lines)
+
+
+class WatchdogError(RuntimeError):
+    """A simulation invariant was violated; carries the diagnostics report."""
+
+    def __init__(self, diagnostics: SimulationDiagnostics) -> None:
+        super().__init__(diagnostics.format_text())
+        self.diagnostics = diagnostics
+
+
+class SimulationWatchdog:
+    """Per-segment invariant auditor driven by the simulator's hooks.
+
+    Parameters
+    ----------
+    max_consecutive_stalls:
+        Abort after this many stalls without an intervening completion
+        (``None`` disables the stall-progress check).
+    energy_tolerance:
+        Relative tolerance of the energy checks, scaled by the segment's
+        energy turnover.
+    """
+
+    def __init__(
+        self,
+        max_consecutive_stalls: Optional[int] = None,
+        energy_tolerance: float = 1e-6,
+    ) -> None:
+        if max_consecutive_stalls is not None and max_consecutive_stalls < 1:
+            raise ValueError(
+                "max_consecutive_stalls must be >= 1 or None, got "
+                f"{max_consecutive_stalls!r}"
+            )
+        if energy_tolerance <= 0 or not math.isfinite(energy_tolerance):
+            raise ValueError(
+                f"energy_tolerance must be finite and > 0, got {energy_tolerance!r}"
+            )
+        self._max_stalls = max_consecutive_stalls
+        self._tolerance = float(energy_tolerance)
+        self._last_end = 0.0
+        self._segments = 0
+        self._stalls = 0
+        self._consecutive_stalls = 0
+        self._completions = 0
+        self._stored = 0.0
+        self._capacity = 0.0
+
+    @property
+    def segments_checked(self) -> int:
+        """Number of segments audited so far."""
+        return self._segments
+
+    def snapshot(self, time: float, violation: str = "", **detail: float) -> SimulationDiagnostics:
+        """Diagnostics for the current counters (healthy or violated)."""
+        return SimulationDiagnostics(
+            violation=violation,
+            time=time,
+            segments_checked=self._segments,
+            stall_count=self._stalls,
+            consecutive_stalls=self._consecutive_stalls,
+            completed_count=self._completions,
+            stored=self._stored,
+            capacity=self._capacity,
+            detail={k: float(v) for k, v in detail.items()},
+        )
+
+    def abort(self, time: float, violation: str, **detail: float) -> "WatchdogError":
+        """Build the error for a violation detected by the caller."""
+        return WatchdogError(self.snapshot(time, violation, **detail))
+
+    def _fail(self, time: float, violation: str, **detail: float) -> None:
+        raise self.abort(time, violation, **detail)
+
+    def observe_segment(
+        self,
+        t0: float,
+        t1: float,
+        harvest_power: float,
+        draw_power: float,
+        result: SegmentResult,
+        storage: EnergyStorage,
+    ) -> None:
+        """Audit one advanced segment (called after ``storage.advance``)."""
+        self._stored = storage.stored
+        self._capacity = storage.capacity
+        if t1 < t0 - EPSILON:
+            self._fail(t1, "segment runs backwards", t0=t0, t1=t1)
+        if t0 < self._last_end - EPSILON:
+            self._fail(
+                t0,
+                "segment begins before the previous segment ended",
+                previous_end=self._last_end,
+            )
+        duration = max(0.0, t1 - t0)
+        harvested = harvest_power * duration
+        expected_drawn = draw_power * duration
+        tolerance = self._tolerance * max(1.0, harvested + expected_drawn)
+        if abs(result.drawn - expected_drawn) > tolerance:
+            self._fail(
+                t1,
+                "storage-reported draw disagrees with the commanded draw",
+                reported=result.drawn,
+                expected=expected_drawn,
+            )
+        accounted = (
+            result.stored_delta + result.drawn + result.leaked + result.overflow
+        )
+        if accounted > harvested + tolerance:
+            self._fail(
+                t1,
+                "energy conservation violated (accounted energy exceeds harvest)",
+                accounted=accounted,
+                harvested=harvested,
+            )
+        if not math.isinf(storage.stored):
+            level_tolerance = self._tolerance * max(1.0, abs(storage.stored))
+            if storage.stored < -level_tolerance:
+                self._fail(t1, "storage level below zero", stored=storage.stored)
+            if (
+                not math.isinf(storage.capacity)
+                and storage.stored > storage.capacity + level_tolerance
+            ):
+                self._fail(
+                    t1,
+                    "storage level above capacity",
+                    stored=storage.stored,
+                    capacity=storage.capacity,
+                )
+        self._last_end = max(self._last_end, t1)
+        self._segments += 1
+
+    def observe_decision(self, now: float, decision: Decision) -> None:
+        """Audit a scheduler decision for causality."""
+        if decision.reconsider_at < now - EPSILON:
+            self._fail(
+                now,
+                "scheduler asked to be reconsidered in the past",
+                reconsider_at=decision.reconsider_at,
+            )
+        if (
+            decision.switch_to_max_at is not None
+            and decision.switch_to_max_at < now - EPSILON
+        ):
+            self._fail(
+                now,
+                "scheduler planned a speed switch in the past",
+                switch_to_max_at=decision.switch_to_max_at,
+            )
+
+    def observe_stall(self, time: float) -> None:
+        """Record a stall; abort if too many accumulate without progress."""
+        self._stalls += 1
+        self._consecutive_stalls += 1
+        if (
+            self._max_stalls is not None
+            and self._consecutive_stalls > self._max_stalls
+        ):
+            self._fail(
+                time,
+                "stall loop without progress "
+                f"(more than {self._max_stalls} stalls since the last completion)",
+            )
+
+    def observe_completion(self) -> None:
+        """Record a job completion (resets the consecutive-stall counter)."""
+        self._completions += 1
+        self._consecutive_stalls = 0

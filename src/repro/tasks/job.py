@@ -56,6 +56,7 @@ class Job:
         wcet: float,
         index: int = 0,
         actual_work: Optional[float] = None,
+        allow_overrun: bool = False,
     ) -> None:
         if release < 0 or not math.isfinite(release):
             raise ValueError(f"release must be finite and >= 0, got {release!r}")
@@ -67,15 +68,25 @@ class Job:
             raise ValueError(f"wcet must be finite and > 0, got {wcet!r}")
         if actual_work is None:
             actual_work = wcet
-        if not 0.0 < actual_work <= wcet + EPSILON:
-            raise ValueError(
-                f"actual work must lie in (0, wcet={wcet!r}], got {actual_work!r}"
-            )
+        if allow_overrun:
+            # Fault injection (repro.faults.OverrunWorkload): the true
+            # demand may exceed the WCET the schedulers plan against.
+            if actual_work <= 0 or not math.isfinite(actual_work):
+                raise ValueError(
+                    f"actual work must be finite and > 0, got {actual_work!r}"
+                )
+            actual = float(actual_work)
+        else:
+            if not 0.0 < actual_work <= wcet + EPSILON:
+                raise ValueError(
+                    f"actual work must lie in (0, wcet={wcet!r}], got {actual_work!r}"
+                )
+            actual = min(float(actual_work), float(wcet))
         self._task = task
         self._release = float(release)
         self._deadline = float(absolute_deadline)
         self._wcet = float(wcet)
-        self._actual = min(float(actual_work), float(wcet))
+        self._actual = actual
         self._index = int(index)
         self._remaining = float(wcet)
         self._remaining_actual = self._actual
@@ -123,14 +134,20 @@ class Job:
 
     @property
     def actual_work(self) -> float:
-        """True execution demand (<= wcet; equal by default).
+        """True execution demand (<= wcet by default).
 
         Online schedulers must not read this — they plan against
         :attr:`remaining_work` (the worst-case bound, which is all a real
         system knows before the job finishes).  The simulator uses it to
-        complete jobs that run shorter than their WCET.
+        complete jobs that run shorter than their WCET.  Jobs built with
+        ``allow_overrun=True`` (fault injection) may exceed the WCET.
         """
         return self._actual
+
+    @property
+    def overruns_wcet(self) -> bool:
+        """Whether the true demand exceeds the declared WCET (fault injection)."""
+        return self._actual > self._wcet + EPSILON
 
     # -- runtime state -----------------------------------------------------------
 

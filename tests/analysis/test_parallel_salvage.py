@@ -1,0 +1,129 @@
+"""Failure-path tests for the crash-tolerant sweep runner."""
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.parallel import RunFailure, RunSpec, run_parallel_salvage
+from repro.experiments.common import PaperSetup
+from repro.sim.simulator import SimulationResult
+
+FAST_SETUP = PaperSetup(horizon=200.0)
+
+
+@dataclass(frozen=True)
+class RaisingSetup(PaperSetup):
+    """Setup whose every run crashes (top-level class: pool-picklable)."""
+
+    def run(self, *args, **kwargs):
+        raise RuntimeError("injected worker crash")
+
+
+@dataclass(frozen=True)
+class SleepingSetup(PaperSetup):
+    """Setup whose every run hangs far past any reasonable timeout."""
+
+    def run(self, *args, **kwargs):
+        time.sleep(5.0)
+        raise AssertionError("should have been abandoned by the timeout")
+
+
+def ok_spec(seed=0):
+    return RunSpec("edf", 0.4, 50.0, seed, setup=FAST_SETUP)
+
+
+def bad_spec():
+    return RunSpec("edf", 0.4, 50.0, 0, setup=RaisingSetup())
+
+
+class TestSerialSalvage:
+    def test_empty(self):
+        assert run_parallel_salvage([]) == []
+
+    def test_all_healthy_matches_plain_results(self):
+        results = run_parallel_salvage([ok_spec(0), ok_spec(1)], max_workers=1)
+        assert all(isinstance(r, SimulationResult) for r in results)
+
+    def test_raising_cell_salvaged_others_complete(self):
+        specs = [ok_spec(0), bad_spec(), ok_spec(1)]
+        results = run_parallel_salvage(specs, max_workers=1)
+        assert isinstance(results[0], SimulationResult)
+        assert isinstance(results[2], SimulationResult)
+        failure = results[1]
+        assert isinstance(failure, RunFailure)
+        assert failure.error_type == "RuntimeError"
+        assert "injected worker crash" in failure.message
+        assert failure.attempts == 1
+        assert failure.timed_out is False
+        assert failure.spec == specs[1]
+
+    def test_order_preserved(self):
+        specs = [
+            RunSpec(name, 0.4, 50.0, 0, setup=FAST_SETUP)
+            for name in ("edf", "lsa", "ea-dvfs")
+        ]
+        results = run_parallel_salvage(specs, max_workers=1)
+        assert [r.scheduler_name for r in results] == ["edf", "lsa", "ea-dvfs"]
+
+    def test_retries_counted(self):
+        results = run_parallel_salvage(
+            [bad_spec(), ok_spec()], max_workers=1, retries=2, backoff=0.0
+        )
+        assert results[0].attempts == 3
+        assert isinstance(results[1], SimulationResult)
+
+    def test_successful_cells_not_retried(self):
+        # A healthy cell succeeds in round 0 and must not run again.
+        results = run_parallel_salvage(
+            [ok_spec()] * 2 + [bad_spec()], max_workers=1, retries=1, backoff=0.0
+        )
+        assert isinstance(results[0], SimulationResult)
+        assert results[2].attempts == 2
+
+
+class TestPooledSalvage:
+    def test_raising_cell_salvaged_others_complete(self):
+        specs = [ok_spec(0), bad_spec(), ok_spec(1)]
+        results = run_parallel_salvage(specs, max_workers=2, retries=1, backoff=0.0)
+        assert isinstance(results[0], SimulationResult)
+        assert isinstance(results[2], SimulationResult)
+        failure = results[1]
+        assert isinstance(failure, RunFailure)
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 2
+
+    def test_hanging_cell_times_out(self):
+        specs = [
+            ok_spec(0),
+            RunSpec("edf", 0.4, 50.0, 0, setup=SleepingSetup()),
+        ]
+        results = run_parallel_salvage(specs, max_workers=2, timeout=0.5)
+        assert isinstance(results[0], SimulationResult)
+        failure = results[1]
+        assert isinstance(failure, RunFailure)
+        assert failure.timed_out is True
+        assert failure.error_type == "TimeoutError"
+        assert "0.5" in failure.message
+
+    def test_pooled_matches_serial_for_healthy_specs(self):
+        specs = [ok_spec(0), ok_spec(1)]
+        serial = run_parallel_salvage(specs, max_workers=1)
+        pooled = run_parallel_salvage(specs, max_workers=2)
+        for s, p in zip(serial, pooled):
+            assert s.missed_count == p.missed_count
+            assert s.drawn_energy == pytest.approx(p.drawn_energy)
+
+
+class TestValidation:
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            run_parallel_salvage([ok_spec()], timeout=0.0)
+
+    def test_bad_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            run_parallel_salvage([ok_spec()], retries=-1)
+
+    def test_bad_backoff(self):
+        with pytest.raises(ValueError, match="backoff"):
+            run_parallel_salvage([ok_spec()], backoff=-0.5)

@@ -5,6 +5,8 @@ import pytest
 
 from repro.energy.source import SolarStochasticSource, TraceSource
 from repro.energy.trace_io import (
+    TraceFormatError,
+    TraceFormatWarning,
     load_power_csv,
     resample_to_quantum,
     save_power_csv,
@@ -68,6 +70,91 @@ class TestLoadPowerCsv:
         path.write_text("0,1.0\n1,2.0,3.0\n")
         with pytest.raises(ValueError, match="columns"):
             load_power_csv(path)
+
+
+class TestStrictErrors:
+    def test_error_names_the_offending_line(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("time,power\n0,1.0\nbad,2.0\n")
+        with pytest.raises(TraceFormatError, match="line 3") as excinfo:
+            load_power_csv(path)
+        assert excinfo.value.line == 3
+        assert excinfo.value.path == str(path)
+        assert "non-numeric" in str(excinfo.value)
+
+    def test_file_level_error_has_no_line(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_power_csv(path)
+        assert excinfo.value.line is None
+        assert str(path) in str(excinfo.value)
+
+    def test_is_a_value_error(self, tmp_path):
+        # Pre-existing callers catching ValueError keep working.
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_width_mismatch_line_number(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("0,1.0\n1,2.0\n3\n")
+        with pytest.raises(TraceFormatError, match="line 3") as excinfo:
+            load_power_csv(path)
+        assert "expected 2 columns, found 1" in str(excinfo.value)
+
+    def test_blank_lines_do_not_shift_line_numbers(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("0,1.0\n\n\nnan,2.0\n")
+        with pytest.raises(TraceFormatError, match="line 4"):
+            load_power_csv(path)
+
+
+class TestLenientLoading:
+    def test_skips_malformed_rows_with_one_warning(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("time,power\n0,1.0\nbad,2.0\n2,3.0\n3,-4.0\n4,5.0\n")
+        with pytest.warns(TraceFormatWarning, match="skipped 2 malformed") as rec:
+            times, powers = load_power_csv(path, strict=False)
+        np.testing.assert_allclose(times, [0.0, 2.0, 4.0])
+        np.testing.assert_allclose(powers, [1.0, 3.0, 5.0])
+        assert len(rec) == 1
+        assert "line 3" in str(rec[0].message)
+
+    def test_non_monotonic_drops_only_that_row(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("0,1.0\n5,2.0\n3,9.0\n6,4.0\n")
+        with pytest.warns(TraceFormatWarning):
+            times, powers = load_power_csv(path, strict=False)
+        np.testing.assert_allclose(times, [0.0, 5.0, 6.0])
+        np.testing.assert_allclose(powers, [1.0, 2.0, 4.0])
+
+    def test_all_rows_bad_still_raises(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("0,bad\n1,nan\n")
+        with pytest.raises(TraceFormatError, match="no valid samples"):
+            load_power_csv(path, strict=False)
+
+    def test_single_column_lenient_renumbers_kept_rows(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("1.0\nbad\n3.0\n")
+        with pytest.warns(TraceFormatWarning):
+            times, powers = load_power_csv(path, strict=False)
+        np.testing.assert_allclose(times, [0.0, 1.0])
+        np.testing.assert_allclose(powers, [1.0, 3.0])
+
+    def test_clean_file_emits_no_warning(self, tmp_path, recwarn):
+        path = tmp_path / "log.csv"
+        path.write_text("0,1.0\n1,2.0\n")
+        load_power_csv(path, strict=False)
+        assert not [w for w in recwarn if isinstance(w.message, TraceFormatWarning)]
+
+    def test_source_from_csv_passes_strict_through(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("0,1.0\nbad,2.0\n1,3.0\n")
+        with pytest.raises(TraceFormatError):
+            source_from_csv(path)
+        with pytest.warns(TraceFormatWarning):
+            source = source_from_csv(path, strict=False)
+        assert source.power(0.5) == 1.0
 
 
 class TestResample:

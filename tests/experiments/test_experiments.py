@@ -171,10 +171,13 @@ class TestRegistry:
         paper_artifacts = {
             "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "motivation",
         }
+        extensions = {"resilience"}
         assert paper_artifacts <= set(EXPERIMENTS)
+        assert extensions <= set(EXPERIMENTS)
         # Everything else in the registry is an ablation.
         assert all(
-            name in paper_artifacts or name.startswith("ablation-")
+            name in paper_artifacts or name in extensions
+            or name.startswith("ablation-")
             for name in EXPERIMENTS
         )
 

@@ -1,0 +1,205 @@
+"""Tests for the storage-side fault injector."""
+
+import math
+
+import pytest
+
+from repro.energy.storage import IdealStorage, NonIdealStorage
+from repro.faults import DegradedStorage
+from repro.timeutils import INFINITY
+
+
+class TestCapacityFade:
+    def test_effective_capacity_declines(self):
+        deg = DegradedStorage(IdealStorage(100.0), fade_rate=1e-2)
+        assert deg.effective_capacity == 100.0
+        deg.advance(10.0, harvest_power=0.0, draw_power=0.0)
+        assert deg.effective_capacity == pytest.approx(90.0)
+        assert deg.nominal_capacity == 100.0
+        assert deg.capacity == pytest.approx(90.0)
+
+    def test_charge_above_faded_capacity_is_expelled_as_leakage(self):
+        deg = DegradedStorage(IdealStorage(100.0, initial=100.0), fade_rate=1e-2)
+        seg = deg.advance(10.0, harvest_power=0.0, draw_power=0.0)
+        assert deg.stored == pytest.approx(90.0)
+        assert deg.total_leaked == pytest.approx(10.0)
+        # The expelled charge never reached the load.
+        assert deg.total_drawn == pytest.approx(0.0)
+        assert seg.leaked == pytest.approx(10.0)
+
+    def test_fade_floor(self):
+        deg = DegradedStorage(
+            IdealStorage(100.0), fade_rate=1e-2, min_capacity_fraction=0.5
+        )
+        deg.advance(1000.0, 0.0, 0.0)
+        assert deg.effective_capacity == pytest.approx(50.0)
+
+    def test_is_full_uses_faded_capacity(self):
+        deg = DegradedStorage(IdealStorage(100.0, initial=100.0), fade_rate=1e-2)
+        deg.advance(10.0, 0.0, 0.0)
+        assert deg.is_full  # 90 stored vs 90 effective
+        assert deg.fraction == pytest.approx(1.0)
+
+    def test_fade_requires_finite_capacity(self):
+        with pytest.raises(ValueError, match="finite inner capacity"):
+            DegradedStorage(IdealStorage(math.inf), fade_rate=1e-3)
+
+
+class TestSpikes:
+    def always_spiking(self, initial=50.0, spike_power=2.0):
+        return DegradedStorage(
+            IdealStorage(100.0, initial=initial),
+            spike_probability=1.0,
+            spike_power=spike_power,
+        )
+
+    def test_net_flow_includes_spike_drain(self):
+        deg = self.always_spiking()
+        assert deg.net_flow(0.0, 1.0) == pytest.approx(-3.0)
+
+    def test_time_to_empty_includes_spike_drain(self):
+        deg = self.always_spiking(initial=9.0)
+        # Constant -3 flow (always spiking): empty after 3 time units.
+        assert deg.time_to_empty(0.0, 1.0) == pytest.approx(3.0)
+
+    def test_time_to_empty_infinite_when_charging_through_spike(self):
+        deg = self.always_spiking()
+        assert deg.time_to_empty(5.0, 1.0) == INFINITY
+
+    def test_bounded_walk_returns_safe_underestimate(self):
+        # Draining slowly against a huge store: the true crossing lies far
+        # beyond the bounded look-ahead, so the walk cannot find it.
+        deg = DegradedStorage(
+            IdealStorage(1e9, initial=1e8),
+            spike_probability=1.0,
+            spike_power=5.0,
+        )
+        tte = deg.time_to_empty(0.0, 1.0)  # spike rate -6, never crosses soon
+        # Level 1e8 at rate -6 crosses at ~1.6e7; the walk is bounded, so
+        # the wrapper reports the look-ahead horizon instead — a safe
+        # underestimate that only makes the simulator split early.
+        assert tte <= DegradedStorage._MAX_WINDOWS * 1.0 + 1e-6
+        assert tte > 0.0
+
+    def test_spike_pinned_off_at_empty_store(self):
+        deg = self.always_spiking(initial=0.0)
+        # No charge for the parasitic path to drain: flows balance and the
+        # store cannot be "drained" below empty by the fault.
+        assert deg.net_flow(0.0, 0.0) == 0.0
+        seg = deg.advance(5.0, 0.0, 0.0)
+        assert deg.stored == 0.0
+        assert seg.leaked == pytest.approx(0.0)
+
+    def test_spike_energy_reclassified_as_leakage(self):
+        deg = self.always_spiking(initial=50.0, spike_power=2.0)
+        seg = deg.advance(4.0, harvest_power=0.0, draw_power=1.0)
+        # Load drew 4, spike drained 8.
+        assert seg.drawn == pytest.approx(4.0)
+        assert deg.total_drawn == pytest.approx(4.0)
+        assert deg.total_leaked == pytest.approx(8.0)
+        assert deg.stored == pytest.approx(50.0 - 12.0)
+
+    def test_conservation_over_ideal_inner(self):
+        deg = DegradedStorage(
+            IdealStorage(60.0, initial=30.0),
+            seed=3,
+            fade_rate=1e-3,
+            spike_probability=0.3,
+            spike_power=1.5,
+        )
+        harvested = accounted = 0.0
+        for step in range(40):
+            harvest = 2.0 if step % 3 else 0.0
+            seg = deg.advance(1.0, harvest, 0.5)
+            harvested += harvest * 1.0
+            accounted += seg.stored_delta + seg.drawn + seg.leaked + seg.overflow
+        assert accounted == pytest.approx(harvested)
+
+
+class TestDeterminism:
+    def make(self, seed=7):
+        return DegradedStorage(
+            IdealStorage(40.0, initial=20.0),
+            seed=seed,
+            spike_probability=0.4,
+            spike_power=1.0,
+        )
+
+    def test_same_seed_same_trajectory(self):
+        a, b = self.make(), self.make()
+        for step in range(30):
+            sa = a.advance(1.0, 1.0 if step % 2 else 0.0, 0.5)
+            sb = b.advance(1.0, 1.0 if step % 2 else 0.0, 0.5)
+            assert sa == sb
+        assert a.stored == b.stored
+        assert a.total_leaked == b.total_leaked
+
+    def test_different_seed_differs(self):
+        a, b = self.make(seed=1), self.make(seed=2)
+        for _ in range(30):
+            a.advance(1.0, 0.8, 0.2)
+            b.advance(1.0, 0.8, 0.2)
+        assert a.stored != b.stored
+
+
+class TestNonIdealInner:
+    def test_wraps_lossy_storage(self):
+        deg = DegradedStorage(
+            NonIdealStorage(50.0, leakage_power=0.1),
+            seed=1,
+            fade_rate=1e-3,
+            spike_probability=0.5,
+            spike_power=0.5,
+        )
+        for step in range(20):
+            seg = deg.advance(1.0, 1.0, 0.4)
+            # Non-ideal conversion losses are unitemized, so the books may
+            # under-account but must never conjure energy.
+            assert (
+                seg.stored_delta + seg.drawn + seg.leaked + seg.overflow
+                <= 1.0 + 1e-9
+            )
+        assert deg.total_leaked > 0.0
+
+    def test_instant_draw_delegates(self):
+        inner = NonIdealStorage(50.0, discharge_efficiency=0.8)
+        deg = DegradedStorage(inner)
+        delivered = deg.draw_instant(4.0)
+        assert delivered == pytest.approx(4.0)
+        assert inner.stored == pytest.approx(45.0)
+
+
+class TestValidation:
+    def test_bad_fade_rate(self):
+        with pytest.raises(ValueError, match="fade_rate"):
+            DegradedStorage(IdealStorage(10.0), fade_rate=-1.0)
+
+    def test_bad_min_capacity_fraction(self):
+        with pytest.raises(ValueError, match="min_capacity_fraction"):
+            DegradedStorage(IdealStorage(10.0), min_capacity_fraction=0.0)
+
+    def test_bad_spike_params(self):
+        with pytest.raises(ValueError, match="spike_probability"):
+            DegradedStorage(IdealStorage(10.0), spike_probability=2.0)
+        with pytest.raises(ValueError, match="spike_power"):
+            DegradedStorage(IdealStorage(10.0), spike_power=-1.0)
+        with pytest.raises(ValueError, match="spike durations"):
+            DegradedStorage(IdealStorage(10.0), min_spike_duration=0)
+
+    def test_bad_quantum(self):
+        with pytest.raises(ValueError, match="quantum"):
+            DegradedStorage(IdealStorage(10.0), quantum=-1.0)
+
+    def test_bad_advance_duration(self):
+        deg = DegradedStorage(IdealStorage(10.0))
+        with pytest.raises(ValueError, match="duration"):
+            deg.advance(-1.0, 0.0, 0.0)
+
+    def test_introspection(self):
+        inner = IdealStorage(10.0)
+        deg = DegradedStorage(inner, seed=5, spike_probability=0.1, spike_power=0.2)
+        assert deg.inner is inner
+        assert deg.seed == 5
+        assert deg.has_spikes
+        assert deg.elapsed == 0.0
+        assert "DegradedStorage" in repr(deg)

@@ -164,6 +164,56 @@ class TestRegistry:
             make_scheduler("nope", xscale)
 
 
+class TestRegistryErrors:
+    @pytest.fixture
+    def registry(self):
+        import repro.sched.registry as registry
+
+        yield registry
+        # Drop anything a test registered so state cannot leak.
+        for name in list(registry._FACTORIES):
+            if name.startswith("test-"):
+                registry.unregister_scheduler(name)
+
+    def test_duplicate_registration_lists_names(self, registry):
+        registry.register_scheduler("test-dup", LazyScheduler)
+        with pytest.raises(ValueError, match="already registered") as excinfo:
+            registry.register_scheduler("test-dup", LazyScheduler)
+        assert "test-dup" in str(excinfo.value)
+        assert "lsa" in str(excinfo.value)  # the listing names the others
+
+    def test_builtin_names_are_reserved(self, registry):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_scheduler("lsa", LazyScheduler)
+
+    def test_empty_or_non_string_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="non-empty string"):
+            registry.register_scheduler("", LazyScheduler)
+        with pytest.raises(ValueError, match="non-empty string"):
+            registry.register_scheduler(None, LazyScheduler)
+
+    def test_unregister_unknown_lists_available(self, registry):
+        with pytest.raises(ValueError, match="unknown scheduler") as excinfo:
+            registry.unregister_scheduler("test-ghost")
+        assert "lsa" in str(excinfo.value)
+
+    def test_register_unregister_round_trip(self, registry, xscale):
+        registry.register_scheduler("test-custom", LazyScheduler)
+        assert "test-custom" in registry.available_schedulers()
+        assert isinstance(
+            registry.make_scheduler("test-custom", xscale), LazyScheduler
+        )
+        registry.unregister_scheduler("test-custom")
+        assert "test-custom" not in registry.available_schedulers()
+
+    def test_early_registration_does_not_suppress_builtins(self, registry):
+        # A custom registration arriving before any lookup must still
+        # leave every built-in available (the lazy-load guard is a flag,
+        # not "is the table empty").
+        registry.register_scheduler("test-early", LazyScheduler)
+        assert {"ea-dvfs", "lsa", "edf"} <= set(registry.available_schedulers())
+
+
 class TestEnergyOutlook:
     def test_available_until_sums_stored_and_prediction(self):
         view = outlook(10.0, harvest=2.0)

@@ -35,6 +35,63 @@ class TestSimulationClock:
         clock.advance_to(10.0 - 1e-12)
         assert clock.now == 10.0
 
+    def test_nan_target_rejected(self):
+        clock = SimulationClock(5.0)
+        with pytest.raises(ValueError, match="NaN"):
+            clock.advance_to(math.nan)
+        assert clock.now == 5.0
+
+
+class TestClockDriftAccumulation:
+    """Sub-EPSILON backwards drift is snapped, never stored.
+
+    A clock that *stored* the slightly-past target would let thousands of
+    tiny float-noise regressions accumulate into a real backwards move;
+    these properties pin the snapping behavior down.
+    """
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_now_equals_running_maximum(self, targets):
+        clock = SimulationClock()
+        high = 0.0
+        for t in targets:
+            if t >= clock.now - 1e-9:
+                clock.advance_to(t)
+                high = max(high, t)
+        assert clock.now == high
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.floats(min_value=1e-13, max_value=9e-10),
+    )
+    def test_repeated_sub_epsilon_drift_never_accumulates(self, n, drift):
+        clock = SimulationClock(10.0)
+        for _ in range(min(n, 500)):
+            clock.advance_to(10.0 - drift)
+        assert clock.now == 10.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=1e-13, max_value=9e-10),
+    )
+    def test_drift_then_advance_is_exact(self, start, drift):
+        clock = SimulationClock(start)
+        clock.advance_to(start - drift)
+        clock.advance_to(start + 1.0)
+        assert clock.now == start + 1.0
+
+    @given(st.floats(min_value=1e-8, max_value=1.0))
+    def test_real_regression_still_rejected(self, gap):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(10.0 - max(gap, 1e-8))
+
 
 class TestEventQueueOrdering:
     def test_pops_in_time_order(self):

@@ -29,6 +29,7 @@ SUBPACKAGES = (
     "repro.cpu",
     "repro.energy",
     "repro.experiments",
+    "repro.faults",
     "repro.sched",
     "repro.sim",
     "repro.tasks",
