@@ -11,6 +11,9 @@
 ``repro feasibility [options]``
     Offline analysis of a generated workload: EDF schedulability, the
     long-run energy balance, and a storage-capacity lower bound.
+``repro verify [options]``
+    Differential sweep of the ``repro.verify`` oracle battery over N
+    seeded random scenarios; exits non-zero on any discrepancy.
 """
 
 from __future__ import annotations
@@ -81,6 +84,27 @@ def build_parser() -> argparse.ArgumentParser:
     feas.add_argument("--seed", type=int, default=0)
     feas.add_argument("--n-tasks", type=int, default=5)
     feas.add_argument("--deficit-horizon", type=float, default=10_000.0)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential-test the schedulers against analytic oracles",
+    )
+    verify.add_argument(
+        "--n", type=int, default=100,
+        help="number of random scenarios to check (default 100)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; scenario i uses seed+i (default 0)",
+    )
+    verify.add_argument(
+        "--no-faults", action="store_true",
+        help="restrict the sweep to fault-free scenarios",
+    )
+    verify.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the live progress counter",
+    )
     return parser
 
 
@@ -211,6 +235,32 @@ def _cmd_feasibility(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import run_differential
+
+    if args.n < 1:
+        print(f"error: --n must be >= 1, got {args.n}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        print(f"\rscenario {done}/{total}", end="", file=sys.stderr,
+              flush=True)
+        if done == total:
+            print(file=sys.stderr)
+
+    started = time.perf_counter()
+    report = run_differential(
+        n=args.n,
+        seed=args.seed,
+        allow_faults=not args.no_faults,
+        progress=None if args.quiet else progress,
+    )
+    elapsed = time.perf_counter() - started
+    print(report.format_text())
+    print(f"[verify completed in {elapsed:.1f}s]")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -221,6 +271,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_quick(args)
     if args.command == "feasibility":
         return _cmd_feasibility(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -23,6 +23,7 @@ special case, enforced by an equivalence test in the suite.
 
 from __future__ import annotations
 
+import math
 from typing import ClassVar
 
 from repro.core.slowdown import compute_plan
@@ -35,7 +36,15 @@ __all__ = ["EaDvfsScheduler"]
 
 
 class EaDvfsScheduler(Scheduler):
-    """Energy Aware DVFS — the paper's contribution."""
+    """Energy Aware DVFS — the paper's contribution.
+
+    ``slowdown=False`` removes the stretch phase entirely: the job waits
+    until ``s2`` and then runs at full speed.  That configuration is, by
+    the paper's own construction (section 4.3 / eq. (8)), exactly the
+    Lazy Scheduling Algorithm — the equivalence the ``repro.verify``
+    degeneracy oracles assert schedule-for-schedule against
+    :class:`~repro.sched.lsa.LazyScheduler`.
+    """
 
     name: ClassVar[str] = "ea-dvfs"
 
@@ -43,14 +52,25 @@ class EaDvfsScheduler(Scheduler):
         self,
         scale: FrequencyScale,
         full_storage_fast_path: bool = True,
+        slowdown: bool = True,
     ) -> None:
         super().__init__(scale)
         self._full_storage_fast_path = bool(full_storage_fast_path)
+        self._slowdown = bool(slowdown)
+        if not self._slowdown:
+            # Instance-level shadow of the class attribute so results and
+            # registries can tell the degenerate policy apart.
+            self.name = "ea-dvfs-noslowdown"
 
     @property
     def full_storage_fast_path(self) -> bool:
         """Whether a full storage forces full speed (section 4.1)."""
         return self._full_storage_fast_path
+
+    @property
+    def slowdown(self) -> bool:
+        """Whether the ``[s1, s2)`` stretch phase is enabled."""
+        return self._slowdown
 
     def decide(
         self,
@@ -61,6 +81,9 @@ class EaDvfsScheduler(Scheduler):
         job = ready.peek()
         if job is None:
             return Decision.idle()
+
+        if not self._slowdown:
+            return self._decide_no_slowdown(now, job, outlook)
 
         if self._full_storage_fast_path and outlook.storage_is_full:
             # Section 4.1: a full storage cannot absorb saved energy, so
@@ -95,8 +118,44 @@ class EaDvfsScheduler(Scheduler):
             return Decision.run(job, self._scale.max_level)
         return Decision.run(job, plan.level, switch_to_max_at=plan.switch_to_max_at)
 
+    def _decide_no_slowdown(
+        self, now: float, job, outlook: EnergyOutlook
+    ) -> Decision:
+        """The ``s2`` rule alone: wait until full speed is sustainable.
+
+        Uses the plan's ``s2`` (eq. (8)) when the deadline is reachable,
+        so the verify-tier differential tests genuinely exercise
+        :func:`~repro.core.slowdown.compute_plan` against the independent
+        LSA implementation.  The full-storage fast path is skipped: it is
+        a rule about when *not* to slow down, which is moot here, and
+        applying it would start earlier than ``s2`` when a small full
+        storage still cannot sustain full speed through the deadline.
+        """
+        max_level = self._scale.max_level
+        available = outlook.available_until(now, job.absolute_deadline)
+        plan = compute_plan(
+            now=now,
+            deadline=job.absolute_deadline,
+            remaining_work=job.remaining_work,
+            available_energy=available,
+            scale=self._scale,
+        )
+        if plan.deadline_reachable:
+            start = plan.s2
+        elif math.isinf(available):
+            start = now
+        else:
+            # The unreachable-deadline plan pins s2 = now (best effort at
+            # full speed); the lazy rule still defers to the genuine
+            # eq. (8) instant.
+            start = max(now, job.absolute_deadline - available / max_level.power)
+        if start > now + EPSILON:
+            return Decision.idle(reconsider_at=start)
+        return Decision.run(job, max_level)
+
     def __repr__(self) -> str:
         return (
             f"EaDvfsScheduler(scale={self._scale!r}, "
-            f"full_storage_fast_path={self._full_storage_fast_path})"
+            f"full_storage_fast_path={self._full_storage_fast_path}, "
+            f"slowdown={self._slowdown})"
         )

@@ -101,3 +101,9 @@ def _ensure_builtins() -> None:
         OverflowAwareEaDvfsScheduler,
     ):
         _FACTORIES.setdefault(cls.name, cls)
+    # EA-DVFS with the stretch phase removed — the paper's LSA degeneracy,
+    # kept addressable so the verify tier can run it against LazyScheduler.
+    _FACTORIES.setdefault(
+        "ea-dvfs-noslowdown",
+        lambda scale: EaDvfsScheduler(scale, slowdown=False),
+    )

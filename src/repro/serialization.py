@@ -9,7 +9,11 @@ users) persist what a run produced without pickling live objects:
 * :func:`trace_to_csv` / :func:`load_trace_csv` — flat CSV round-trip of
   a :class:`~repro.sim.tracing.Trace`;
 * :func:`jobs_to_csv` — per-job table (release, deadline, completion,
-  energy) for external analysis.
+  energy) for external analysis;
+* :func:`canonical_value` / :func:`canonical_json` — byte-stable
+  canonical JSON (sorted keys, normalized floats) used by the
+  golden-trace regression store and the determinism tests in
+  :mod:`repro.verify`.
 
 Everything is plain ``json``/``csv`` from the standard library — no
 extra dependencies, stable on-disk formats.
@@ -28,6 +32,8 @@ from repro.sim.tracing import Trace
 from repro.tasks.job import Job
 
 __all__ = [
+    "canonical_json",
+    "canonical_value",
     "jobs_to_csv",
     "load_trace_csv",
     "result_to_dict",
@@ -49,6 +55,61 @@ def _json_safe(value: Any) -> Any:
     if hasattr(value, "item"):  # numpy scalar
         return _json_safe(value.item())
     return value
+
+
+def canonical_value(value: Any, float_digits: int = 10) -> Any:
+    """Recursively normalize a payload for byte-stable serialization.
+
+    Floats are rounded to ``float_digits`` significant digits (enough to
+    distinguish genuine numeric regressions, short enough to absorb
+    last-bit noise across library versions), non-finite floats follow the
+    :func:`_json_safe` convention, numpy scalars are unwrapped, tuples
+    become lists, and mapping keys are coerced to sorted strings.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return _json_safe(value)
+        if value == 0.0:
+            return 0.0  # normalize -0.0
+        return float(f"{value:.{float_digits}g}")
+    if isinstance(value, int):
+        return value
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return canonical_value(value.tolist(), float_digits)
+    if hasattr(value, "item"):  # other zero-dim numpy-likes
+        return canonical_value(value.item(), float_digits)
+    if isinstance(value, dict):
+        return {
+            str(key): canonical_value(value[key], float_digits)
+            for key in sorted(value, key=str)
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item, float_digits) for item in value]
+    if isinstance(value, str):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} value {value!r}"
+    )
+
+
+def canonical_json(payload: Any, float_digits: int = 10) -> str:
+    """Deterministic JSON text of :func:`canonical_value` (newline-terminated).
+
+    Two payloads produce identical bytes iff their canonical forms are
+    equal — the comparison primitive of the golden-trace store and the
+    determinism tests.
+    """
+    return (
+        json.dumps(
+            canonical_value(payload, float_digits),
+            indent=2,
+            sort_keys=True,
+            ensure_ascii=False,
+        )
+        + "\n"
+    )
 
 
 def _job_record(job: Job) -> dict[str, Any]:

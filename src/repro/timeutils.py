@@ -24,31 +24,47 @@ EPSILON: float = 1e-9
 INFINITY: float = math.inf
 
 
+def time_cmp(a: float, b: float, eps: float = EPSILON) -> int:
+    """Three-way tolerant comparison: ``-1`` / ``0`` / ``+1``.
+
+    All five predicates below derive from this single function so the
+    tolerance is applied to one rounding of ``a - b``.  Expressions like
+    ``a > b + eps`` round ``b + eps`` and ``a - b`` differently, which
+    lets two predicates hold at once near the tolerance boundary (e.g.
+    ``b = -eps``, ``a`` denormal: ``b + eps`` is exactly ``0.0`` while
+    ``a - b`` is exactly ``eps``) — breaking trichotomy.
+    """
+    if a == b:  # covers +inf == +inf, exact hits
+        return 0
+    diff = a - b
+    if abs(diff) <= eps:
+        return 0
+    return -1 if diff < 0.0 else 1
+
+
 def time_eq(a: float, b: float, eps: float = EPSILON) -> bool:
     """Return ``True`` when two instants coincide within tolerance."""
-    if a == b:  # covers +inf == +inf, exact hits
-        return True
-    return abs(a - b) <= eps
+    return time_cmp(a, b, eps) == 0
 
 
 def time_lt(a: float, b: float, eps: float = EPSILON) -> bool:
     """Return ``True`` when ``a`` is strictly before ``b`` (beyond tolerance)."""
-    return a < b - eps
+    return time_cmp(a, b, eps) < 0
 
 
 def time_le(a: float, b: float, eps: float = EPSILON) -> bool:
     """Return ``True`` when ``a`` is before or at ``b`` within tolerance."""
-    return a <= b + eps
+    return time_cmp(a, b, eps) <= 0
 
 
 def time_gt(a: float, b: float, eps: float = EPSILON) -> bool:
     """Return ``True`` when ``a`` is strictly after ``b`` (beyond tolerance)."""
-    return a > b + eps
+    return time_cmp(a, b, eps) > 0
 
 
 def time_ge(a: float, b: float, eps: float = EPSILON) -> bool:
     """Return ``True`` when ``a`` is at or after ``b`` within tolerance."""
-    return a >= b - eps
+    return time_cmp(a, b, eps) >= 0
 
 
 def clamp(value: float, low: float, high: float) -> float:

@@ -1,0 +1,77 @@
+"""Differential-testing and oracle subsystem.
+
+The verify tier checks the *relationships* the paper asserts rather than
+individual outputs:
+
+* :mod:`repro.verify.oracles` — analytic decision oracles (independent
+  re-derivation of equations (5)-(9)), degeneracy schedule comparison,
+  and trace-level conservation/causality/accounting re-checks;
+* :mod:`repro.verify.scenarios` — seeded random simulation worlds,
+  reproducible from a single integer seed;
+* :mod:`repro.verify.differential` — the N-scenario differential sweep
+  behind ``repro verify``;
+* :mod:`repro.verify.golden` — the golden-trace regression store under
+  ``tests/golden/``;
+* :mod:`repro.verify.strategies` — shared Hypothesis strategies
+  (test-only; the rest of the package never imports Hypothesis).
+
+See ``docs/testing.md`` for the full testing story.
+"""
+
+from repro.verify.differential import (
+    CHECK_NAMES,
+    DifferentialReport,
+    Discrepancy,
+    run_differential,
+    run_scenario_checks,
+)
+from repro.verify.golden import (
+    GOLDEN_PAYLOADS,
+    GoldenMismatch,
+    GoldenStore,
+)
+from repro.verify.oracles import (
+    OracleCheckedScheduler,
+    OraclePlan,
+    OracleViolation,
+    OracleViolationError,
+    check_accounting,
+    check_causality,
+    check_energy_conservation,
+    compare_schedules,
+    expected_ea_dvfs_decision,
+    expected_lazy_decision,
+    recompute_plan,
+)
+from repro.verify.scenarios import (
+    FaultPlan,
+    ScenarioSpec,
+    TaskParams,
+    random_scenario,
+)
+
+__all__ = [
+    "CHECK_NAMES",
+    "DifferentialReport",
+    "Discrepancy",
+    "FaultPlan",
+    "GOLDEN_PAYLOADS",
+    "GoldenMismatch",
+    "GoldenStore",
+    "OracleCheckedScheduler",
+    "OraclePlan",
+    "OracleViolation",
+    "OracleViolationError",
+    "ScenarioSpec",
+    "TaskParams",
+    "check_accounting",
+    "check_causality",
+    "check_energy_conservation",
+    "compare_schedules",
+    "expected_ea_dvfs_decision",
+    "expected_lazy_decision",
+    "random_scenario",
+    "recompute_plan",
+    "run_differential",
+    "run_scenario_checks",
+]

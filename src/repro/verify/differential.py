@@ -1,0 +1,209 @@
+"""Differential-testing harness over seeded random scenarios.
+
+:func:`run_differential` draws N reproducible worlds with
+:func:`repro.verify.scenarios.random_scenario` and subjects each to four
+independent checks:
+
+* **oracle** — the scenario run under an
+  :class:`~repro.verify.oracles.OracleCheckedScheduler`-wrapped EA-DVFS;
+  every decision is asserted against the re-derived equations (5)-(9);
+* **edf-degeneracy** — the same world with infinite storage run under
+  ``ea-dvfs`` and ``edf``; the schedules must be identical (section 4.3);
+* **lsa-degeneracy** — the world run under ``ea-dvfs-noslowdown`` and
+  ``lsa``; the schedules must be identical (the ``s2`` rule alone *is*
+  LSA);
+* **invariants** — energy-conservation, causality and accounting
+  re-checks over every completed run above.
+
+Failures become structured :class:`Discrepancy` records inside a
+:class:`DifferentialReport`; the smallest failing seed is surfaced as the
+minimal reproduction handle (``random_scenario(seed)`` rebuilds the
+world bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sched.registry import make_scheduler
+from repro.sim.simulator import DeadlineMissPolicy, SimulationResult
+from repro.verify.oracles import (
+    OracleCheckedScheduler,
+    OracleViolationError,
+    check_accounting,
+    check_causality,
+    check_energy_conservation,
+    compare_schedules,
+)
+from repro.verify.scenarios import ScenarioSpec, random_scenario
+
+__all__ = [
+    "CHECK_NAMES",
+    "Discrepancy",
+    "DifferentialReport",
+    "run_differential",
+    "run_scenario_checks",
+]
+
+CHECK_NAMES: tuple[str, ...] = (
+    "oracle",
+    "edf-degeneracy",
+    "lsa-degeneracy",
+    "invariants",
+)
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One divergence between implementation and oracle/peer."""
+
+    seed: int
+    check: str
+    detail: str
+    scenario: str
+
+    def format_text(self) -> str:
+        return (
+            f"[{self.check}] seed={self.seed}: {self.detail}\n"
+            f"    scenario: {self.scenario}\n"
+            f"    reproduce: repro.verify.scenarios.random_scenario"
+            f"({self.seed})"
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregate outcome of a differential sweep."""
+
+    n_scenarios: int
+    base_seed: int
+    checks_run: int = 0
+    simulations_run: int = 0
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+    @property
+    def minimal_seed(self) -> Optional[int]:
+        """Smallest scenario seed with a discrepancy (reproduction handle)."""
+        if not self.discrepancies:
+            return None
+        return min(d.seed for d in self.discrepancies)
+
+    def format_text(self) -> str:
+        lines = [
+            f"differential sweep: {self.n_scenarios} scenarios "
+            f"(seeds {self.base_seed}..{self.base_seed + self.n_scenarios - 1}), "
+            f"{self.checks_run} checks, {self.simulations_run} simulations"
+        ]
+        if self.ok:
+            lines.append("no discrepancies found")
+        else:
+            lines.append(f"{len(self.discrepancies)} DISCREPANCIES:")
+            for discrepancy in self.discrepancies:
+                lines.append(discrepancy.format_text())
+            lines.append(
+                f"minimal reproducing seed: {self.minimal_seed}"
+            )
+        return "\n".join(lines)
+
+
+def _invariant_problems(
+    spec: ScenarioSpec, result: SimulationResult
+) -> list[str]:
+    policy = DeadlineMissPolicy(spec.miss_policy)
+    problems = check_energy_conservation(
+        result,
+        initial_stored=spec.capacity,
+        lossless=spec.lossless_storage,
+    )
+    problems += check_causality(result, policy)
+    problems += check_accounting(result, policy)
+    return problems
+
+
+def run_scenario_checks(spec: ScenarioSpec) -> tuple[list[Discrepancy], int, int]:
+    """All four checks on one scenario.
+
+    Returns ``(discrepancies, checks_run, simulations_run)``.
+    """
+    discrepancies: list[Discrepancy] = []
+    checks = 0
+    sims = 0
+    completed: list[tuple[ScenarioSpec, SimulationResult]] = []
+
+    def fail(check: str, detail: str, of: ScenarioSpec) -> None:
+        discrepancies.append(Discrepancy(
+            seed=spec.seed, check=check, detail=detail,
+            scenario=of.describe(),
+        ))
+
+    # 1. decision oracle on the full EA-DVFS policy
+    checks += 1
+    wrapped = OracleCheckedScheduler(
+        make_scheduler("ea-dvfs", spec.scale())  # type: ignore[arg-type]
+    )
+    try:
+        sims += 1
+        completed.append((spec, spec.run(wrapped)))
+    except OracleViolationError as error:
+        fail("oracle", str(error.violation), spec)
+
+    # 2. infinite storage must collapse EA-DVFS onto plain EDF@f_max
+    checks += 1
+    spec_inf = spec.with_infinite_storage()
+    sims += 2
+    result_ea = spec_inf.run("ea-dvfs")
+    result_edf = spec_inf.run("edf")
+    for problem in compare_schedules(
+        result_ea, result_edf, label_a="ea-dvfs", label_b="edf"
+    ):
+        fail("edf-degeneracy", problem, spec_inf)
+
+    # 3. slow-down disabled must collapse EA-DVFS onto LSA
+    checks += 1
+    sims += 2
+    result_nosd = spec.run("ea-dvfs-noslowdown")
+    result_lsa = spec.run("lsa")
+    for problem in compare_schedules(
+        result_nosd, result_lsa, label_a="ea-dvfs-noslowdown", label_b="lsa"
+    ):
+        fail("lsa-degeneracy", problem, spec)
+    completed.append((spec, result_nosd))
+    completed.append((spec, result_lsa))
+
+    # 4. physical/accounting invariants over every finite-storage run
+    checks += 1
+    for run_spec, result in completed:
+        for problem in _invariant_problems(run_spec, result):
+            fail("invariants", problem, run_spec)
+
+    return discrepancies, checks, sims
+
+
+def run_differential(
+    n: int = 100,
+    seed: int = 0,
+    allow_faults: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> DifferentialReport:
+    """Run the full check battery over ``n`` seeded scenarios.
+
+    ``progress`` (if given) is called as ``progress(i, n)`` after each
+    scenario — the CLI uses it for a live counter.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n!r}")
+    report = DifferentialReport(n_scenarios=n, base_seed=seed)
+    for i in range(n):
+        spec = random_scenario(seed + i, allow_faults=allow_faults)
+        discrepancies, checks, sims = run_scenario_checks(spec)
+        report.discrepancies.extend(discrepancies)
+        report.checks_run += checks
+        report.simulations_run += sims
+        if progress is not None:
+            progress(i + 1, n)
+    return report

@@ -1,0 +1,160 @@
+"""Shared Hypothesis strategies for the whole test suite.
+
+Consolidates the ad-hoc ``@st.composite`` strategies previously
+duplicated across ``tests/energy/``, ``tests/tasks/`` and ``tests/sim/``
+into one importable library, and adds a strategy over full
+:class:`~repro.verify.scenarios.ScenarioSpec` worlds for differential
+property tests.
+
+Hypothesis is a *test-only* dependency: importing this module without it
+raises a clear :class:`ModuleNotFoundError` instead of a cryptic
+``NameError`` later.  Nothing else in :mod:`repro.verify` imports it, so
+the CLI harness stays dependency-free.
+"""
+
+from __future__ import annotations
+
+try:
+    from hypothesis import strategies as st
+except ModuleNotFoundError as error:  # pragma: no cover - env-dependent
+    raise ModuleNotFoundError(
+        "repro.verify.strategies requires the 'hypothesis' package "
+        "(a test-only dependency); install it or avoid importing this "
+        "module from non-test code"
+    ) from error
+
+from repro.sim.simulator import DeadlineMissPolicy
+from repro.verify.scenarios import (
+    HORIZON_CHOICES,
+    PERIOD_CHOICES,
+    PREDICTOR_KINDS,
+    SOURCE_FAULT_KINDS,
+    SOURCE_KINDS,
+    FaultPlan,
+    ScenarioSpec,
+    TaskParams,
+)
+
+__all__ = [
+    "fault_plans",
+    "scenario_specs",
+    "scheduler_names",
+    "seeds",
+    "storage_programs",
+    "task_counts",
+    "task_params_lists",
+    "utilizations",
+]
+
+#: Schedulers exercised by generic whole-simulation property tests (the
+#: energy-aware pair plus both EDF baselines).
+FUZZED_SCHEDULERS: tuple[str, ...] = ("edf", "lsa", "ea-dvfs", "stretch-edf")
+
+
+def seeds(max_seed: int = 1000) -> st.SearchStrategy[int]:
+    """Integer RNG seeds for deterministic components."""
+    return st.integers(min_value=0, max_value=max_seed)
+
+
+def task_counts(max_tasks: int = 12) -> st.SearchStrategy[int]:
+    """Task-set sizes for the workload generators."""
+    return st.integers(min_value=1, max_value=max_tasks)
+
+
+def utilizations(
+    min_value: float = 0.05, max_value: float = 1.0
+) -> st.SearchStrategy[float]:
+    """Total utilization targets for the workload generators."""
+    return st.floats(min_value=min_value, max_value=max_value)
+
+
+@st.composite
+def storage_programs(draw):
+    """A random sequence of charge/discharge segments.
+
+    Returns ``(capacity, initial, segments)`` where each segment is a
+    ``(duration, harvest_power, draw_power)`` triple — the contract the
+    storage property tests have always used.
+    """
+    capacity = draw(st.floats(min_value=10.0, max_value=1000.0))
+    initial = draw(st.floats(min_value=0.0, max_value=1.0)) * capacity
+    n = draw(st.integers(min_value=1, max_value=20))
+    segments = [
+        (
+            draw(st.floats(min_value=0.0, max_value=10.0)),  # duration
+            draw(st.floats(min_value=0.0, max_value=20.0)),  # harvest
+            draw(st.floats(min_value=0.0, max_value=20.0)),  # draw
+        )
+        for _ in range(n)
+    ]
+    return capacity, initial, segments
+
+
+@st.composite
+def task_params_lists(draw, max_tasks: int = 4):
+    """Schedulable-by-construction task parameter tuples (total U <= 1)."""
+    n_tasks = draw(st.integers(min_value=1, max_value=max_tasks))
+    tasks = []
+    total_u = 0.0
+    for _ in range(n_tasks):
+        period = float(draw(st.sampled_from(PERIOD_CHOICES)))
+        u = draw(st.floats(min_value=0.02, max_value=0.35))
+        if total_u + u > 1.0:
+            u = max(0.01, 1.0 - total_u)
+        total_u += u
+        bcet = draw(st.sampled_from([1.0, 1.0, 0.6]))
+        tasks.append(
+            TaskParams(period=period, wcet=u * period, bcet_ratio=bcet)
+        )
+    return tuple(tasks)
+
+
+@st.composite
+def fault_plans(draw):
+    """Random :class:`FaultPlan` — roughly half are the clean plan."""
+    if draw(st.booleans()):
+        return FaultPlan()
+    gain, offset = 1.0, 0.0
+    if draw(st.booleans()):
+        gain = draw(st.sampled_from([0.5, 0.8, 1.3, 2.0]))
+        offset = draw(st.sampled_from([0.0, -0.5, 0.5]))
+    return FaultPlan(
+        source_fault=draw(
+            st.sampled_from((None,) + SOURCE_FAULT_KINDS)
+        ),
+        storage_spikes=draw(st.booleans()),
+        predictor_gain=gain,
+        predictor_offset_power=offset,
+        overrun=draw(st.booleans()),
+    )
+
+
+@st.composite
+def scenario_specs(draw, allow_faults: bool = True):
+    """Full simulation worlds as :class:`ScenarioSpec` values.
+
+    Same distribution family as
+    :func:`repro.verify.scenarios.random_scenario`, expressed as a
+    Hypothesis strategy so failing worlds shrink toward minimal ones.
+    """
+    faults = draw(fault_plans()) if allow_faults else FaultPlan()
+    return ScenarioSpec(
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        tasks=draw(task_params_lists()),
+        source_kind=draw(st.sampled_from(SOURCE_KINDS)),
+        capacity=draw(st.floats(min_value=5.0, max_value=500.0)),
+        predictor_kind=draw(st.sampled_from(PREDICTOR_KINDS)),
+        miss_policy=draw(
+            st.sampled_from([policy.value for policy in DeadlineMissPolicy])
+        ),
+        horizon=float(draw(st.sampled_from(HORIZON_CHOICES))),
+        aet_seed=draw(st.integers(min_value=0, max_value=1000)),
+        faults=faults,
+    )
+
+
+def scheduler_names(
+    names: tuple[str, ...] = FUZZED_SCHEDULERS,
+) -> st.SearchStrategy[str]:
+    """Registry names of schedulers to fuzz."""
+    return st.sampled_from(names)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cpu.presets import (
@@ -11,6 +13,31 @@ from repro.cpu.presets import (
 )
 from repro.energy.source import ConstantSource, SolarStochasticSource
 from repro.energy.storage import IdealStorage
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden fixtures under tests/golden/ instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture
+def golden_store(request):
+    """The golden-trace store rooted at tests/golden/.
+
+    Honors ``--update-golden``: with the flag, checks rewrite fixtures
+    instead of comparing.
+    """
+    from repro.verify.golden import GoldenStore
+
+    return GoldenStore(
+        Path(__file__).parent / "golden",
+        update=request.config.getoption("--update-golden"),
+    )
 
 
 @pytest.fixture

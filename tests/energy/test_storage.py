@@ -4,9 +4,9 @@ import math
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.energy.storage import IdealStorage, NonIdealStorage
+from repro.verify.strategies import storage_programs
 
 
 class TestIdealStorageBasics:
@@ -139,23 +139,6 @@ class TestDrawInstant:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             IdealStorage(capacity=10.0).draw_instant(-1.0)
-
-
-@st.composite
-def storage_programs(draw):
-    """A random sequence of charge/discharge segments."""
-    capacity = draw(st.floats(min_value=10.0, max_value=1000.0))
-    initial = draw(st.floats(min_value=0.0, max_value=1.0)) * capacity
-    n = draw(st.integers(min_value=1, max_value=20))
-    segments = [
-        (
-            draw(st.floats(min_value=0.0, max_value=10.0)),  # duration
-            draw(st.floats(min_value=0.0, max_value=20.0)),  # harvest
-            draw(st.floats(min_value=0.0, max_value=20.0)),  # draw
-        )
-        for _ in range(n)
-    ]
-    return capacity, initial, segments
 
 
 class TestIdealStorageProperties:

@@ -1,0 +1,94 @@
+"""Golden-trace regression tests.
+
+Each test recomputes a small, fast experiment payload and compares its
+canonical JSON byte-for-byte against the fixture pinned in this
+directory.  A numeric change anywhere in the analytic pipeline fails
+loudly with a diff summary; refresh intentionally-changed fixtures with:
+
+    PYTHONPATH=src python -m pytest tests/golden -q --update-golden
+"""
+
+import json
+
+import pytest
+
+from repro.serialization import canonical_json
+from repro.verify.golden import (
+    GOLDEN_PAYLOADS,
+    GoldenMismatch,
+    GoldenStore,
+    golden_fig5_payload,
+    golden_table1_payload,
+)
+
+
+@pytest.mark.golden
+class TestGoldenRegression:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_PAYLOADS))
+    def test_payload_matches_fixture(self, golden_store, name):
+        assert golden_store.check(name, GOLDEN_PAYLOADS[name]())
+
+    def test_fixtures_are_canonical_on_disk(self, golden_store):
+        """Pinned files must already be in canonical form (else every
+        --update-golden run would churn unrelated bytes)."""
+        if golden_store.update:
+            pytest.skip("fixtures are being rewritten")
+        for name in sorted(GOLDEN_PAYLOADS):
+            path = golden_store.path_for(name)
+            text = path.read_text()
+            assert text == canonical_json(json.loads(text)), (
+                f"{path} is not canonical JSON"
+            )
+
+
+@pytest.mark.golden
+class TestGoldenPayloads:
+    def test_fig5_payload_is_deterministic(self):
+        assert canonical_json(golden_fig5_payload()) == canonical_json(
+            golden_fig5_payload()
+        )
+
+    def test_table1_payload_shape(self):
+        payload = golden_table1_payload()
+        assert [row["utilization"] for row in payload["rows"]] == [0.2, 0.6]
+        for row in payload["rows"]:
+            assert row["cmin_lsa"] > 0
+            assert row["cmin_ea_dvfs"] > 0
+
+
+class TestGoldenStore:
+    def test_update_mode_writes_fixture(self, tmp_path):
+        store = GoldenStore(tmp_path / "golden", update=True)
+        assert store.check("sample", {"x": 1.0})
+        assert store.path_for("sample").exists()
+
+    def test_missing_fixture_raises(self, tmp_path):
+        store = GoldenStore(tmp_path, update=False)
+        with pytest.raises(FileNotFoundError, match="--update-golden"):
+            store.check("absent", {"x": 1.0})
+
+    def test_match_round_trip(self, tmp_path):
+        store = GoldenStore(tmp_path, update=True)
+        payload = {"metrics": {"a": 1 / 3, "b": [1.0, 2.0]}, "n": 4}
+        store.check("roundtrip", payload)
+        reader = GoldenStore(tmp_path, update=False)
+        assert reader.check("roundtrip", payload)
+
+    def test_mismatch_fails_loudly_with_diff(self, tmp_path):
+        store = GoldenStore(tmp_path, update=True)
+        store.check("drift", {"value": 1.0, "stable": "yes"})
+        reader = GoldenStore(tmp_path, update=False)
+        with pytest.raises(GoldenMismatch) as excinfo:
+            reader.check("drift", {"value": 1.25, "stable": "yes"})
+        message = str(excinfo.value)
+        assert "changed lines" in message
+        assert "-  \"value\": 1.0" in message
+        assert "+  \"value\": 1.25" in message
+        assert "--update-golden" in message
+
+    def test_float_noise_is_absorbed(self, tmp_path):
+        """Sub-10-significant-digit noise must not trip the comparison."""
+        store = GoldenStore(tmp_path, update=True)
+        store.check("noise", {"value": 0.1 + 0.2})
+        reader = GoldenStore(tmp_path, update=False)
+        assert reader.check("noise", {"value": 0.3})

@@ -21,18 +21,9 @@ from hypothesis import strategies as st
 
 from repro.core.ea_dvfs import EaDvfsScheduler
 from repro.cpu.presets import xscale_pxa
-from repro.energy.predictor import (
-    MeanPowerPredictor,
-    OraclePredictor,
-    ProfilePredictor,
-)
-from repro.energy.source import (
-    ConstantSource,
-    DayNightSource,
-    SolarStochasticSource,
-)
+from repro.energy.source import ConstantSource
 from repro.energy.storage import IdealStorage
-from repro.sched.edf import GreedyEdfScheduler, StretchEdfScheduler
+from repro.sched.edf import GreedyEdfScheduler
 from repro.sched.lsa import LazyScheduler
 from repro.sim.simulator import (
     DeadlineMissPolicy,
@@ -40,87 +31,21 @@ from repro.sim.simulator import (
     SimulationConfig,
 )
 from repro.tasks.task import PeriodicTask, TaskSet
-
-SCHEDULERS = (
-    GreedyEdfScheduler,
-    LazyScheduler,
-    EaDvfsScheduler,
-    StretchEdfScheduler,
-)
-
-
-@st.composite
-def scenarios(draw):
-    n_tasks = draw(st.integers(min_value=1, max_value=4))
-    tasks = []
-    total_u = 0.0
-    for i in range(n_tasks):
-        period = float(draw(st.sampled_from([10, 20, 30, 50, 80])))
-        u = draw(st.floats(min_value=0.02, max_value=0.35))
-        if total_u + u > 1.0:
-            u = max(0.01, 1.0 - total_u)
-        total_u += u
-        bcet = draw(st.sampled_from([1.0, 1.0, 0.6]))
-        tasks.append(
-            PeriodicTask(period=period, wcet=u * period, name=f"t{i}",
-                         bcet_ratio=bcet)
-        )
-    source_kind = draw(st.sampled_from(["constant", "solar", "daynight"]))
-    source_seed = draw(st.integers(min_value=0, max_value=100))
-    capacity = draw(st.floats(min_value=5.0, max_value=500.0))
-    scheduler_cls = draw(st.sampled_from(SCHEDULERS))
-    predictor_kind = draw(st.sampled_from(["oracle", "profile", "mean"]))
-    miss_policy = draw(st.sampled_from(list(DeadlineMissPolicy)))
-    horizon = float(draw(st.sampled_from([200, 500, 800])))
-    return {
-        "tasks": tasks,
-        "source_kind": source_kind,
-        "source_seed": source_seed,
-        "capacity": capacity,
-        "scheduler_cls": scheduler_cls,
-        "predictor_kind": predictor_kind,
-        "miss_policy": miss_policy,
-        "horizon": horizon,
-    }
-
-
-def build_and_run(spec):
-    if spec["source_kind"] == "constant":
-        source = ConstantSource(1.0 + (spec["source_seed"] % 7) * 0.5)
-    elif spec["source_kind"] == "solar":
-        source = SolarStochasticSource(seed=spec["source_seed"])
-    else:
-        source = DayNightSource(day_power=4.0, night_power=0.2,
-                                day_length=60.0, night_length=40.0)
-    if spec["predictor_kind"] == "oracle":
-        predictor = OraclePredictor(source)
-    elif spec["predictor_kind"] == "profile":
-        predictor = ProfilePredictor(period=100.0, n_bins=16)
-    else:
-        predictor = MeanPowerPredictor()
-    scale = xscale_pxa()
-    simulator = HarvestingRtSimulator(
-        taskset=TaskSet(spec["tasks"]),
-        source=source,
-        storage=IdealStorage(capacity=spec["capacity"]),
-        scheduler=spec["scheduler_cls"](scale),
-        predictor=predictor,
-        config=SimulationConfig(
-            horizon=spec["horizon"],
-            miss_policy=spec["miss_policy"],
-            aet_seed=spec["source_seed"],
-        ),
-    )
-    return spec, simulator.run()
+from repro.verify.strategies import scenario_specs, scheduler_names
 
 
 class TestSimulationInvariants:
-    @given(scenarios())
+    """Each property draws a fault-free world from the shared strategy
+    library (``repro.verify.strategies``) plus a scheduler name, so the
+    exact same scenario distribution feeds both these fuzz tests and the
+    ``repro verify`` differential harness."""
+
+    @given(spec=scenario_specs(allow_faults=False), name=scheduler_names())
     @settings(max_examples=40, deadline=None)
-    def test_energy_conservation(self, spec):
-        spec, result = build_and_run(spec)
+    def test_energy_conservation(self, spec, name):
+        result = spec.run(name)
         balance = (
-            spec["capacity"]  # storage starts full
+            spec.capacity  # storage starts full
             + result.harvested_energy
             - result.drawn_energy
             - result.overflow_energy
@@ -130,10 +55,10 @@ class TestSimulationInvariants:
         tolerance = 1e-6 * max(1.0, result.harvested_energy)
         assert abs(balance) < tolerance
 
-    @given(scenarios())
+    @given(spec=scenario_specs(allow_faults=False), name=scheduler_names())
     @settings(max_examples=40, deadline=None)
-    def test_job_accounting(self, spec):
-        spec, result = build_and_run(spec)
+    def test_job_accounting(self, spec, name):
+        result = spec.run(name)
         finished = result.completed_count + sum(
             1 for j in result.jobs
             if j.completion_time is None and j.is_finished
@@ -141,7 +66,7 @@ class TestSimulationInvariants:
         assert finished <= result.released_count
         assert 0.0 <= result.miss_rate <= 1.0
         assert result.judged_count <= result.released_count
-        if spec["miss_policy"] is DeadlineMissPolicy.DROP:
+        if DeadlineMissPolicy(spec.miss_policy) is DeadlineMissPolicy.DROP:
             # Every job is completed, dropped-missed, or still in flight.
             in_flight = sum(1 for j in result.jobs if not j.is_finished)
             assert (
@@ -152,44 +77,54 @@ class TestSimulationInvariants:
                 == result.released_count
             )
 
-    @given(scenarios())
+    @given(spec=scenario_specs(allow_faults=False), name=scheduler_names())
     @settings(max_examples=40, deadline=None)
-    def test_job_causality(self, spec):
-        spec, result = build_and_run(spec)
+    def test_job_causality(self, spec, name):
+        result = spec.run(name)
+        drop = DeadlineMissPolicy(spec.miss_policy) is DeadlineMissPolicy.DROP
         for job in result.jobs:
             if job.first_start_time is not None:
                 assert job.first_start_time >= job.release - 1e-9
             if job.completion_time is not None:
                 assert job.first_start_time is not None
                 assert job.completion_time >= job.first_start_time - 1e-9
-                assert job.completion_time <= spec["horizon"] + 1e-9
-                if spec["miss_policy"] is DeadlineMissPolicy.DROP:
+                assert job.completion_time <= spec.horizon + 1e-9
+                if drop:
                     # Dropped-at-deadline jobs never complete late.
                     assert (
                         job.completion_time
                         <= job.absolute_deadline + 1e-6
                     )
 
-    @given(scenarios())
+    @given(spec=scenario_specs(allow_faults=False), name=scheduler_names())
     @settings(max_examples=40, deadline=None)
-    def test_time_accounting(self, spec):
-        spec, result = build_and_run(spec)
+    def test_time_accounting(self, spec, name):
+        result = spec.run(name)
         busy = result.total_busy_time
         assert busy >= -1e-9
-        assert busy <= spec["horizon"] + 1e-6
+        assert busy <= spec.horizon + 1e-6
         assert busy + result.idle_time == pytest.approx(
-            spec["horizon"], abs=1e-6
+            spec.horizon, abs=1e-6
         )
         assert result.stall_time <= result.idle_time + 1e-6
 
-    @given(scenarios())
+    @given(spec=scenario_specs(allow_faults=False), name=scheduler_names())
     @settings(max_examples=25, deadline=None)
-    def test_energy_aware_policies_never_run_negative_storage(self, spec):
-        """Re-run with an energy trace and check the recorded levels."""
-        spec = dict(spec)
-        spec, result = build_and_run(spec)
+    def test_energy_aware_policies_never_run_negative_storage(self, spec, name):
+        result = spec.run(name)
         assert result.final_stored >= -1e-6
-        assert result.final_stored <= spec["capacity"] + 1e-6
+        assert result.final_stored <= spec.capacity + 1e-6
+
+    @given(spec=scenario_specs(), name=scheduler_names())
+    @settings(max_examples=25, deadline=None)
+    def test_faulted_worlds_stay_physical(self, spec, name):
+        """With fault decorators active the strict ledger no longer
+        applies, but the physical bounds must survive any fault mix."""
+        result = spec.run(name)
+        assert result.final_stored >= -1e-6
+        assert result.harvested_energy >= -1e-9
+        assert result.drawn_energy >= -1e-9
+        assert result.total_busy_time <= spec.horizon + 1e-6
 
 
 class TestEdfOptimalityCrossCheck:

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.tasks.task import PeriodicTask, TaskSet
+from repro.verify.strategies import seeds, task_counts, utilizations
 from repro.tasks.workload import (
     PAPER_PERIOD_CHOICES,
     generate_paper_taskset,
@@ -121,9 +121,9 @@ class TestPaperGenerator:
             )
 
     @given(
-        n_tasks=st.integers(min_value=1, max_value=12),
-        utilization=st.floats(min_value=0.05, max_value=1.0),
-        seed=st.integers(min_value=0, max_value=1000),
+        n_tasks=task_counts(max_tasks=12),
+        utilization=utilizations(),
+        seed=seeds(max_seed=1000),
     )
     @settings(max_examples=50, deadline=None)
     def test_generated_sets_always_valid(self, n_tasks, utilization, seed):
@@ -152,9 +152,9 @@ class TestUUniFast:
         assert ts.utilization == pytest.approx(0.6)
 
     @given(
-        n_tasks=st.integers(min_value=1, max_value=10),
-        utilization=st.floats(min_value=0.05, max_value=1.0),
-        seed=st.integers(min_value=0, max_value=500),
+        n_tasks=task_counts(max_tasks=10),
+        utilization=utilizations(),
+        seed=seeds(max_seed=500),
     )
     @settings(max_examples=50, deadline=None)
     def test_always_feasible(self, n_tasks, utilization, seed):

@@ -81,3 +81,47 @@ class TestCommands:
         assert "EDF schedulable (timing): True" in out
         assert "sustainable at full speed: True" in out
         assert "storage lower bound" in out
+
+
+class TestVerifyCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.n == 100
+        assert args.seed == 0
+        assert not args.no_faults
+
+    @pytest.mark.differential
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(["verify", "--n", "5", "--seed", "0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "no discrepancies found" in out
+        assert "5 scenarios" in out
+
+    @pytest.mark.differential
+    def test_no_faults_sweep(self, capsys):
+        assert main(
+            ["verify", "--n", "3", "--seed", "7", "--no-faults", "--quiet"]
+        ) == 0
+        assert "no discrepancies" in capsys.readouterr().out
+
+    def test_rejects_nonpositive_n(self, capsys):
+        assert main(["verify", "--n", "0", "--quiet"]) == 2
+        assert "--n must be >= 1" in capsys.readouterr().err
+
+    def test_discrepancies_exit_nonzero(self, capsys, monkeypatch):
+        from repro.verify import DifferentialReport, Discrepancy
+        import repro.verify
+
+        def fake_sweep(n, seed, allow_faults, progress):
+            report = DifferentialReport(n_scenarios=n, base_seed=seed)
+            report.discrepancies.append(
+                Discrepancy(seed=seed, check="oracle", detail="boom",
+                            scenario="synthetic")
+            )
+            return report
+
+        monkeypatch.setattr(repro.verify, "run_differential", fake_sweep)
+        assert main(["verify", "--n", "1", "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "DISCREPANCIES" in out
+        assert "boom" in out

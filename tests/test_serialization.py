@@ -11,6 +11,8 @@ from repro.energy.source import SolarStochasticSource
 from repro.energy.storage import IdealStorage
 from repro.sched.edf import GreedyEdfScheduler
 from repro.serialization import (
+    canonical_json,
+    canonical_value,
     jobs_to_csv,
     load_trace_csv,
     result_to_dict,
@@ -122,3 +124,44 @@ class TestJobsCsv:
         assert len(lines) == 31  # header + jobs
         assert lines[0].startswith("name,task,release")
         assert "t#0" in lines[1]
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_and_newline(self):
+        text = canonical_json({"b": 1, "a": 2})
+        assert text.index('"a"') < text.index('"b"')
+        assert text.endswith("\n")
+
+    def test_float_normalization(self):
+        assert canonical_value(0.1 + 0.2) == canonical_value(0.3)
+        assert canonical_value(-0.0) == 0.0
+        assert math.copysign(1.0, canonical_value(-0.0)) == 1.0
+
+    def test_non_finite_floats(self):
+        assert canonical_value(math.inf) == "inf"
+        assert canonical_value(-math.inf) == "-inf"
+        assert canonical_value(math.nan) is None
+
+    def test_numpy_values_unwrapped(self):
+        import numpy as np
+
+        payload = {"scalar": np.float64(1.5), "array": np.array([1.0, 2.0])}
+        assert canonical_value(payload) == {"scalar": 1.5, "array": [1.0, 2.0]}
+
+    def test_tuples_become_lists(self):
+        assert canonical_value((1, 2.0, "x")) == [1, 2.0, "x"]
+
+    def test_bool_survives(self):
+        assert canonical_value(True) is True
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(TypeError, match="cannot canonicalize"):
+            canonical_value(object())
+
+    def test_byte_stability_across_calls(self):
+        payload = {"x": [1 / 3, 2 / 7], "y": {"nested": 1e-12}}
+        assert canonical_json(payload) == canonical_json(payload)
+
+    def test_result_payload_is_canonicalizable(self, result):
+        text = canonical_json(result_to_dict(result))
+        assert json.loads(text)["scheduler"] == result.scheduler_name

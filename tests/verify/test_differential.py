@@ -1,0 +1,72 @@
+"""The differential harness and its report structure."""
+
+import pytest
+
+from repro.verify import (
+    CHECK_NAMES,
+    DifferentialReport,
+    Discrepancy,
+    run_differential,
+    run_scenario_checks,
+)
+from repro.verify.scenarios import random_scenario
+
+
+@pytest.mark.differential
+class TestDifferentialSweep:
+    def test_clean_sweep(self):
+        report = run_differential(n=12, seed=0)
+        assert report.ok
+        assert report.discrepancies == []
+        assert report.minimal_seed is None
+        assert report.n_scenarios == 12
+        assert report.checks_run == 12 * len(CHECK_NAMES)
+        assert report.simulations_run >= 12 * 5
+
+    def test_clean_sweep_without_faults(self):
+        report = run_differential(n=6, seed=100, allow_faults=False)
+        assert report.ok
+
+    def test_progress_callback(self):
+        seen = []
+        run_differential(n=3, seed=0, progress=lambda i, n: seen.append((i, n)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_single_scenario_checks(self):
+        spec = random_scenario(0)
+        discrepancies, checks, sims = run_scenario_checks(spec)
+        assert discrepancies == []
+        assert checks == len(CHECK_NAMES)
+        assert sims >= 5
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            run_differential(n=0)
+
+
+class TestReportFormatting:
+    def _failing_report(self):
+        report = DifferentialReport(n_scenarios=5, base_seed=10)
+        report.checks_run = 20
+        report.simulations_run = 25
+        report.discrepancies = [
+            Discrepancy(seed=14, check="oracle", detail="wrong level",
+                        scenario="seed=14 ..."),
+            Discrepancy(seed=12, check="lsa-degeneracy",
+                        detail="job t0-3 diverged", scenario="seed=12 ..."),
+        ]
+        return report
+
+    def test_minimal_seed_is_smallest(self):
+        assert self._failing_report().minimal_seed == 12
+
+    def test_format_lists_discrepancies(self):
+        text = self._failing_report().format_text()
+        assert "2 DISCREPANCIES" in text
+        assert "wrong level" in text
+        assert "minimal reproducing seed: 12" in text
+        assert "random_scenario(14)" in text
+
+    def test_clean_format(self):
+        report = DifferentialReport(n_scenarios=2, base_seed=0)
+        assert "no discrepancies" in report.format_text()
