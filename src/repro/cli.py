@@ -14,6 +14,9 @@
 ``repro verify [options]``
     Differential sweep of the ``repro.verify`` oracle battery over N
     seeded random scenarios; exits non-zero on any discrepancy.
+``repro lint [paths]``
+    Domain-aware static analysis (determinism, tolerant-comparison,
+    quantity-unit, API-contract rules); exits non-zero on any finding.
 """
 
 from __future__ import annotations
@@ -104,6 +107,24 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--quiet", action="store_true",
         help="suppress the live progress counter",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis of the source tree",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files/directories to lint (default: src benchmarks)",
+    )
+    lint.add_argument(
+        "--format", dest="output_format", default="text",
+        choices=("text", "json"),
+        help="diagnostic output format (default text)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rule codes and exit",
     )
     return parser
 
@@ -261,6 +282,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Exit-code contract matches `repro verify`: 0 clean, 1 findings,
+    # 2 internal/usage errors.
+    from repro.lint import LintError, all_rules, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"        {rule.description}")
+        return 0
+    try:
+        report = lint_paths(args.paths)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -273,6 +316,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_feasibility(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

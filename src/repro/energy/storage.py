@@ -161,7 +161,9 @@ class EnergyStorage(abc.ABC):
         if duration < 0 or math.isnan(duration):
             raise ValueError(f"duration must be >= 0, got {duration!r}")
         self._check_powers(harvest_power, draw_power)
-        if duration == 0.0:
+        # Exact == 0.0 on purpose: a tolerant zero would swallow the
+        # energy of sub-EPSILON slivers and break conservation oracles.
+        if duration == 0.0:  # repro-lint: disable=RPR101 -- exact by design
             return SegmentResult(drawn=0.0, stored_delta=0.0, overflow=0.0)
         if math.isinf(self._stored):
             drawn = draw_power * duration
@@ -188,7 +190,8 @@ class EnergyStorage(abc.ABC):
         """
         if energy < 0 or math.isnan(energy):
             raise ValueError(f"energy must be >= 0, got {energy!r}")
-        if energy == 0.0:
+        # Exact == 0.0: tiny lumps must still be accounted, not dropped.
+        if energy == 0.0:  # repro-lint: disable=RPR101 -- exact by design
             return 0.0
         if math.isinf(self._stored):
             self._total_drawn += energy

@@ -159,6 +159,8 @@ class _OutageSource(_FaultFactorSource):
         quanta followed by an outage of mean length ``m = (min+max)/2``,
         so the outage fraction is ``p*m / (p*m + 1 - p)``.
         """
+        # Exact == 0.0: the start probability is a configuration
+        # constant, so "faults disabled" is an exact-zero toggle.
         if self._p == 0.0:
             return 0.0
         m = 0.5 * (self._min_d + self._max_d)

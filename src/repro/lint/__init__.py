@@ -1,0 +1,52 @@
+"""Domain-aware static analysis for the EA-DVFS reproduction.
+
+``repro lint`` runs AST-based checks that encode the conventions the
+simulation's correctness rests on (see ``docs/static-analysis.md``):
+
+=========  ==============================================================
+code       rule
+=========  ==============================================================
+RPR001     no stdlib ``random`` (hidden global state)
+RPR002     no wall-clock reads feeding simulated results
+RPR003     ``np.random.default_rng`` needs an explicit seed
+RPR004     no hash-ordered set iteration
+RPR101     tolerant comparison for quantity-vs-float-literal
+RPR102     tolerant comparison for quantity-vs-quantity
+RPR201     no additive mixing of time/energy/power units
+RPR202     no cross-unit comparisons
+RPR301     Scheduler subclasses override ``decide`` and declare ``name``
+RPR302     schedulers must be reachable via ``sched/registry.py``
+RPR303     frozen ``ScenarioSpec`` is never mutated
+RPR901     (engine) file failed to parse
+RPR902     (engine) suppression names an unknown rule code
+=========  ==============================================================
+
+Suppress a finding with an inline ``# repro-lint: disable=RPR101`` (or
+``disable-file=`` for the whole file), ideally followed by a short
+``-- why`` note.
+"""
+
+from repro.lint.engine import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from repro.lint.naming import Dimension, infer_dimension
+
+__all__ = [
+    "Diagnostic",
+    "Dimension",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "infer_dimension",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

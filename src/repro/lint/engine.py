@@ -1,0 +1,387 @@
+"""Rule engine of the domain-aware static analyzer.
+
+The engine is deliberately small: rules are classes registered in a
+global registry, a :class:`ModuleContext` bundles everything a rule may
+inspect about one file (source, AST, suppression table), and
+:func:`lint_paths` walks the requested files/directories, runs every
+enabled rule, filters suppressed diagnostics, and returns a
+:class:`LintReport` with text and JSON renderings.
+
+Two rule shapes exist:
+
+* :class:`Rule` — per-module; sees one :class:`ModuleContext` at a time;
+* :class:`ProjectRule` — whole-run; sees every parsed module at once
+  (used by cross-file contracts such as scheduler registration).
+
+Suppressions follow the conventional inline-comment shape::
+
+    stored == 0.0  # repro-lint: disable=RPR101  -- exact: <why>
+
+A line-comment of the form ``# repro-lint: disable-file=RPR101`` on any
+line suppresses the code for the whole file.  ``disable=all`` works in
+both positions.  Unknown codes in a suppression are reported as
+``RPR902`` so stale suppressions cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]
+
+#: Code attached to files that fail to parse.
+SYNTAX_ERROR_CODE = "RPR901"
+#: Code attached to suppression comments naming unknown rule codes.
+UNKNOWN_SUPPRESSION_CODE = "RPR902"
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+_SUPPRESS_RE = re.compile(
+    r"#.*?\brepro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+?)\s*(?:--|$)"
+)
+
+
+class LintError(Exception):
+    """Internal analyzer failure (bad path, broken rule) — exit code 2."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule code anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppressions:
+    """Per-file suppression table parsed from ``# repro-lint:`` comments."""
+
+    by_line: dict[int, frozenset[str]]
+    whole_file: frozenset[str]
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        if "all" in self.whole_file or code in self.whole_file:
+            return True
+        codes = self.by_line.get(line, frozenset())
+        return "all" in codes or code in codes
+
+
+def parse_suppressions(source: str) -> tuple[Suppressions, list[tuple[int, str]]]:
+    """Scan source lines for suppression comments.
+
+    Returns the table plus ``(line, code)`` pairs for unknown codes so
+    the caller can surface them as :data:`UNKNOWN_SUPPRESSION_CODE`.
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    whole_file: set[str] = set()
+    unknown: list[tuple[int, str]] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = set()
+        for raw in match.group("codes").split(","):
+            code = raw.strip()
+            if not code:
+                continue
+            if code != "all" and not _CODE_RE.match(code):
+                unknown.append((lineno, code))
+                continue
+            codes.add(code)
+        if match.group("kind") == "disable-file":
+            whole_file |= codes
+        else:
+            by_line[lineno] = frozenset(codes) | by_line.get(lineno, frozenset())
+    return Suppressions(by_line=by_line, whole_file=frozenset(whole_file)), unknown
+
+
+@dataclasses.dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one linted file."""
+
+    path: Path
+    #: Path as reported in diagnostics (relative to the lint root when
+    #: possible, keeping output stable across checkouts).
+    display_path: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @property
+    def is_test_code(self) -> bool:
+        """Whether the file lives under a ``tests`` directory."""
+        return "tests" in Path(self.display_path).parts
+
+    def diagnostic(
+        self, node: ast.AST, code: str, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+class Rule(abc.ABC):
+    """A per-module check emitting diagnostics for one rule code."""
+
+    #: Unique ``RPRxxx`` code.
+    code: str = ""
+    #: Short kebab-case rule name shown by ``repro lint --list-rules``.
+    name: str = ""
+    #: One-line description of what the rule enforces.
+    description: str = ""
+
+    @abc.abstractmethod
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one parsed module."""
+
+
+class ProjectRule(Rule):
+    """A whole-run check that sees every parsed module at once."""
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(
+        self, modules: Sequence[ModuleContext]
+    ) -> Iterator[Diagnostic]:
+        """Yield diagnostics computed across all modules."""
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add a rule instance to the global registry (unique code + name)."""
+    if not _CODE_RE.match(rule.code):
+        raise LintError(f"rule code must match RPRxxx, got {rule.code!r}")
+    if rule.code in _RULES:
+        raise LintError(f"duplicate rule code {rule.code}")
+    if any(existing.name == rule.name for existing in _RULES.values()):
+        raise LintError(f"duplicate rule name {rule.name!r}")
+    _RULES[rule.code] = rule
+    return rule
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Registered rules, sorted by code (built-ins loaded on demand)."""
+    _ensure_builtin_rules()
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtin_rules() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    # Importing the rule modules registers their rules as a side effect.
+    from repro.lint import (  # noqa: F401
+        rules_comparison,
+        rules_contracts,
+        rules_determinism,
+        rules_units,
+    )
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    diagnostics: list[Diagnostic] = dataclasses.field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def format_text(self) -> str:
+        lines = [d.format_text() for d in self.diagnostics]
+        if self.diagnostics:
+            summary = ", ".join(
+                f"{code} x{n}" for code, n in self.counts_by_code().items()
+            )
+            lines.append(
+                f"{len(self.diagnostics)} finding(s) in "
+                f"{self.files_checked} file(s): {summary}"
+            )
+        else:
+            lines.append(f"no findings in {self.files_checked} file(s)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "files_checked": self.files_checked,
+            "findings": [d.to_json() for d in self.diagnostics],
+            "counts": self.counts_by_code(),
+            "ok": self.ok,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        # Non-python files passed explicitly are skipped silently so
+        # ``repro lint $(git diff --name-only)`` just works.
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse_module(
+    path: Path, root: Path, source: str
+) -> tuple[ModuleContext | None, list[Diagnostic]]:
+    display = _display_path(path, root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, [
+            Diagnostic(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code=SYNTAX_ERROR_CODE,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    suppressions, unknown = parse_suppressions(source)
+    ctx = ModuleContext(
+        path=path,
+        display_path=display,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+    )
+    extras = [
+        Diagnostic(
+            path=display,
+            line=line,
+            col=1,
+            code=UNKNOWN_SUPPRESSION_CODE,
+            message=f"suppression names unknown rule code {code!r}",
+        )
+        for line, code in unknown
+    ]
+    return ctx, extras
+
+
+def lint_source(
+    source: str,
+    filename: str = "<snippet>",
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint one in-memory snippet (the test-fixture entry point)."""
+    ctx, extras = _parse_module(Path(filename), Path("."), source)
+    report = LintReport(files_checked=1)
+    report.diagnostics.extend(extras)
+    if ctx is None:
+        return report
+    selected = all_rules() if rules is None else tuple(rules)
+    report.diagnostics.extend(_run_rules([ctx], selected))
+    report.diagnostics.sort(key=Diagnostic.sort_key)
+    return report
+
+
+def _run_rules(
+    modules: Sequence[ModuleContext], rules: Sequence[Rule]
+) -> list[Diagnostic]:
+    # A set: chained comparisons can trip the same rule twice at one
+    # position; one finding per (position, code, message) is enough.
+    out: set[Diagnostic] = set()
+    per_module = [r for r in rules if not isinstance(r, ProjectRule)]
+    project = [r for r in rules if isinstance(r, ProjectRule)]
+    by_display = {ctx.display_path: ctx for ctx in modules}
+    for ctx in modules:
+        for rule in per_module:
+            for diag in rule.check_module(ctx):
+                if not ctx.suppressions.is_suppressed(diag.line, diag.code):
+                    out.add(diag)
+    for rule in project:
+        for diag in rule.check_project(modules):
+            owner = by_display.get(diag.path)
+            if owner is None or not owner.suppressions.is_suppressed(
+                diag.line, diag.code
+            ):
+                out.add(diag)
+    return sorted(out, key=Diagnostic.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    root: str | Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint files/directories and return the aggregated report.
+
+    ``root`` anchors the relative display paths (defaults to the current
+    working directory).  Directories are walked recursively for ``*.py``.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    selected = all_rules() if rules is None else tuple(rules)
+    report = LintReport()
+    modules: list[ModuleContext] = []
+    for path in _iter_python_files(Path(p) for p in paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        ctx, extras = _parse_module(path, base, source)
+        report.files_checked += 1
+        report.diagnostics.extend(extras)
+        if ctx is not None:
+            modules.append(ctx)
+    report.diagnostics.extend(_run_rules(modules, selected))
+    report.diagnostics.sort(key=Diagnostic.sort_key)
+    return report

@@ -1,0 +1,148 @@
+"""Dimension inference from the repository's naming conventions.
+
+The linter's tolerant-comparison and quantity-unit rules need to know,
+statically, whether an expression denotes a simulated quantity — and if
+so, which *dimension* it carries (time, energy, or power).  The codebase
+has no runtime unit system; what it has is a disciplined vocabulary
+(``deadline``, ``*_energy``, ``harvest_power``, ``wcet``, …) documented
+in ``docs/architecture.md`` and enforced in review.  This module turns
+that vocabulary into a lookup: :func:`infer_dimension` maps an
+identifier (the last segment of a dotted name, a function name, a
+keyword argument) to a :class:`Dimension`.
+
+The inference is deliberately conservative: anything not matched by the
+vocabulary is :attr:`Dimension.UNKNOWN` and never produces a finding.
+A dimensionless class (speeds, efficiencies, probabilities, fractions)
+is matched explicitly so ratio arithmetic is not misread as unit mixing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Dimension", "infer_dimension", "split_words"]
+
+
+class Dimension(enum.Enum):
+    """Physical dimension attributed to an identifier."""
+
+    TIME = "time"  # seconds of simulated time
+    ENERGY = "energy"  # joules
+    POWER = "power"  # watts (also generic per-time rates)
+    DIMENSIONLESS = "dimensionless"  # speeds, fractions, probabilities
+    UNKNOWN = "unknown"
+
+    @property
+    def is_quantity(self) -> bool:
+        """Whether the dimension marks a simulated physical quantity."""
+        return self in (Dimension.TIME, Dimension.ENERGY, Dimension.POWER)
+
+
+#: Identifiers that *are* a quantity on their own (matched whole).
+_EXACT: dict[str, Dimension] = {
+    # time instants and durations
+    "t": Dimension.TIME,
+    "t0": Dimension.TIME,
+    "t1": Dimension.TIME,
+    "now": Dimension.TIME,
+    "deadline": Dimension.TIME,
+    "horizon": Dimension.TIME,
+    "duration": Dimension.TIME,
+    "span": Dimension.TIME,
+    "elapsed": Dimension.TIME,
+    "period": Dimension.TIME,
+    "wcet": Dimension.TIME,
+    "quantum": Dimension.TIME,
+    "s1": Dimension.TIME,
+    "s2": Dimension.TIME,
+    "until": Dimension.TIME,
+    # energies
+    "energy": Dimension.ENERGY,
+    "stored": Dimension.ENERGY,
+    "capacity": Dimension.ENERGY,
+    "headroom": Dimension.ENERGY,
+    "overflow": Dimension.ENERGY,
+    "drawn": Dimension.ENERGY,
+    "leaked": Dimension.ENERGY,
+    # powers / rates
+    "power": Dimension.POWER,
+    "rate": Dimension.POWER,
+    "leak": Dimension.POWER,
+    "demand": Dimension.POWER,
+    # dimensionless quantities (matched so they are *not* flagged)
+    "speed": Dimension.DIMENSIONLESS,
+    "utilization": Dimension.DIMENSIONLESS,
+    "fraction": Dimension.DIMENSIONLESS,
+    "probability": Dimension.DIMENSIONLESS,
+    "eta": Dimension.DIMENSIONLESS,
+    "scale": Dimension.DIMENSIONLESS,
+    "factor": Dimension.DIMENSIONLESS,
+    "ratio": Dimension.DIMENSIONLESS,
+    "seed": Dimension.DIMENSIONLESS,
+    # *_rate usually means a per-time power-like rate, but these are
+    # event-count fractions:
+    "miss_rate": Dimension.DIMENSIONLESS,
+    "hit_rate": Dimension.DIMENSIONLESS,
+    "drop_rate": Dimension.DIMENSIONLESS,
+}
+
+#: Trailing words that mark a quantity (``switch_to_max_at``,
+#: ``harvest_power``, ``predict_energy``, ``fade_rate``, …).
+_SUFFIX: dict[str, Dimension] = {
+    "time": Dimension.TIME,
+    "at": Dimension.TIME,
+    "deadline": Dimension.TIME,
+    "duration": Dimension.TIME,
+    "horizon": Dimension.TIME,
+    "period": Dimension.TIME,
+    "wcet": Dimension.TIME,
+    "energy": Dimension.ENERGY,
+    "headroom": Dimension.ENERGY,
+    "overflow": Dimension.ENERGY,
+    "power": Dimension.POWER,
+    "rate": Dimension.POWER,
+    "speed": Dimension.DIMENSIONLESS,
+    "fraction": Dimension.DIMENSIONLESS,
+    "probability": Dimension.DIMENSIONLESS,
+    "efficiency": Dimension.DIMENSIONLESS,
+    "factor": Dimension.DIMENSIONLESS,
+    "utilization": Dimension.DIMENSIONLESS,
+    "seed": Dimension.DIMENSIONLESS,
+    "ratio": Dimension.DIMENSIONLESS,
+}
+
+
+def split_words(identifier: str) -> list[str]:
+    """Split a ``snake_case`` identifier into lowercase words.
+
+    Leading/trailing underscores (private-attribute convention) are
+    ignored; empty segments from doubled underscores are dropped.
+    """
+    return [word for word in identifier.lower().strip("_").split("_") if word]
+
+
+def infer_dimension(identifier: str) -> Dimension:
+    """Best-effort dimension of one identifier.
+
+    The whole (underscore-stripped, lowercased) name is tried against
+    the exact vocabulary first, then its last snake_case word against
+    the suffix vocabulary.  ``time_to_empty``-style *predicate/helper*
+    names (``time_*``, ``is_*``, ``has_*``) are treated as UNKNOWN —
+    they name operations, not quantities.
+    """
+    words = split_words(identifier)
+    if not words:
+        return Dimension.UNKNOWN
+    if words[0] in ("is", "has", "total", "n", "num"):
+        # predicates and counters, not quantities (``is_empty``,
+        # ``total_drawn`` is a *cumulative* tally — still energy, but
+        # tallies are compared for reporting, not scheduling; keep the
+        # rule focused on live simulation state).
+        return Dimension.UNKNOWN
+    whole = "_".join(words)
+    if whole in _EXACT:
+        return _EXACT[whole]
+    if words[0] == "time" and len(words) > 1:
+        # ``time_to_empty`` / ``time_cmp`` helpers, not quantities.
+        return Dimension.UNKNOWN
+    return _SUFFIX.get(words[-1], Dimension.UNKNOWN)

@@ -1,0 +1,216 @@
+"""Tolerant-comparison rules (RPR101, RPR102).
+
+Simulated times and energies are floats derived from one another through
+long arithmetic chains, so raw ``==``/``<``/``<=`` comparisons between
+them are brittle near segment boundaries — the exact failure class the
+PR 2 trichotomy fix removed.  Every such comparison must route through
+the :mod:`repro.timeutils` predicates (``time_eq``/``time_lt``/...),
+which apply one absolute tolerance to a single rounding of ``a - b``.
+
+What counts as a simulated quantity is inferred from the codebase's
+naming conventions (:mod:`repro.lint.naming`).  A comparison is exempt
+when it visibly carries its own tolerance (an ``EPSILON``/``eps``
+operand), compares against an infinity sentinel (exact by construction),
+or uses an *integer* literal (the validation idiom ``duration < 0``,
+which rejects ill-formed inputs rather than comparing instants).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Iterator
+
+from repro.lint.engine import Diagnostic, ModuleContext, Rule, register_rule
+from repro.lint.naming import Dimension, infer_dimension
+
+__all__ = [
+    "QuantityLiteralComparisonRule",
+    "QuantityPairComparisonRule",
+    "compare_pairs",
+    "expression_dimension",
+    "has_int_literal",
+    "has_tolerance_marker",
+    "is_float_literal",
+]
+
+#: Identifiers that mark a comparison as deliberately tolerance-aware.
+_TOLERANCE_NAMES = {
+    "epsilon", "eps", "tol", "tolerance", "atol", "rtol",
+}
+#: Infinity sentinels — comparisons against them are exact by IEEE-754.
+_INFINITY_NAMES = {"inf", "infinity"}
+
+_PREDICATE_FOR_OP = {
+    ast.Eq: "time_eq",
+    ast.NotEq: "not time_eq",
+    ast.Lt: "time_lt",
+    ast.LtE: "time_le",
+    ast.Gt: "time_gt",
+    ast.GtE: "time_ge",
+}
+
+
+def has_tolerance_marker(node: ast.AST) -> bool:
+    """Whether a subtree mentions an epsilon/tolerance/infinity name."""
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None:
+            lowered = name.lower()
+            if lowered in _TOLERANCE_NAMES or lowered in _INFINITY_NAMES:
+                return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            if math.isinf(sub.value):
+                return True
+    return False
+
+
+def _name_of(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _name_of(node.func)
+    return None
+
+
+def expression_dimension(node: ast.expr) -> Dimension:
+    """Dimension of an expression under the naming conventions.
+
+    Names, attributes, and call results are classified by identifier;
+    unary minus is transparent; ``a + b`` / ``a - b`` keep the operands'
+    dimension when both sides agree; ``min``/``max`` take the common
+    dimension of their arguments.  Products and quotients intentionally
+    return UNKNOWN — multiplying/dividing is exactly how units convert,
+    and this module must never second-guess a conversion.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return expression_dimension(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = expression_dimension(node.left)
+        right = expression_dimension(node.right)
+        return left if left is right else Dimension.UNKNOWN
+    if isinstance(node, ast.Call):
+        func_name = _name_of(node.func)
+        if func_name in ("min", "max", "abs", "sum"):
+            dims = {expression_dimension(arg) for arg in node.args}
+            if len(dims) == 1:
+                return dims.pop()
+            return Dimension.UNKNOWN
+        if func_name is not None:
+            return infer_dimension(func_name)
+        return Dimension.UNKNOWN
+    name = _name_of(node)
+    if name is not None:
+        return infer_dimension(name)
+    return Dimension.UNKNOWN
+
+
+def is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def has_int_literal(node: ast.Compare) -> bool:
+    """Whether any comparator in the chain is an integer literal.
+
+    Integer literals mark the validation idiom (``duration < 0``,
+    ``1 <= min_quanta <= max_quanta``) where exact comparison — often of
+    integer counts that merely *name* a time unit — is intended.
+    """
+    for operand in (node.left, *node.comparators):
+        if isinstance(operand, ast.UnaryOp) and isinstance(
+            operand.op, (ast.USub, ast.UAdd)
+        ):
+            operand = operand.operand
+        if isinstance(operand, ast.Constant) and isinstance(operand.value, int):
+            return True
+    return False
+
+
+def compare_pairs(
+    node: ast.Compare,
+) -> Iterator[tuple[ast.expr, ast.cmpop, ast.expr]]:
+    left = node.left
+    for op, right in zip(node.ops, node.comparators):
+        yield left, op, right
+        left = right
+
+
+class QuantityLiteralComparisonRule(Rule):
+    code = "RPR101"
+    name = "tolerant-comparison-literal"
+    description = (
+        "raw float-literal comparison of a simulated time/energy/power "
+        "quantity; use the repro.timeutils predicates"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if has_tolerance_marker(node):
+                continue
+            for left, op, right in compare_pairs(node):
+                if type(op) not in _PREDICATE_FOR_OP:
+                    continue
+                if is_float_literal(right):
+                    expr = left
+                elif is_float_literal(left):
+                    expr = right
+                else:
+                    continue
+                dim = expression_dimension(expr)
+                if not dim.is_quantity:
+                    continue
+                predicate = _PREDICATE_FOR_OP[type(op)]
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"raw comparison of {dim.value} quantity against a "
+                    f"float literal; use repro.timeutils.{predicate.split()[-1]}"
+                    " (or suppress with a note when exactness is intended)",
+                )
+
+
+class QuantityPairComparisonRule(Rule):
+    code = "RPR102"
+    name = "tolerant-comparison-pair"
+    description = (
+        "raw comparison between two simulated quantities of the same "
+        "dimension; use the repro.timeutils predicates"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if has_tolerance_marker(node) or has_int_literal(node):
+                continue
+            for left, op, right in compare_pairs(node):
+                if type(op) not in _PREDICATE_FOR_OP:
+                    continue
+                if is_float_literal(left) or is_float_literal(right):
+                    continue
+                left_dim = expression_dimension(left)
+                right_dim = expression_dimension(right)
+                if not (left_dim.is_quantity and left_dim is right_dim):
+                    continue
+                predicate = _PREDICATE_FOR_OP[type(op)]
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"raw {left_dim.value}-to-{right_dim.value} comparison; "
+                    f"use repro.timeutils.{predicate.split()[-1]} so the "
+                    "shared tolerance applies",
+                )
+
+
+register_rule(QuantityLiteralComparisonRule())
+register_rule(QuantityPairComparisonRule())

@@ -1,0 +1,97 @@
+"""Quantity-unit rules (RPR201, RPR202).
+
+Equations (5)-(9) of the paper are unit conversions: energy divided by
+power yields time (``sr_n = E_avail / P_n``), power times time yields
+energy.  Adding or comparing across those dimensions without a
+multiply/divide is always a bug — there is no unit in which
+``energy + power`` means anything.
+
+The checker reuses the naming-convention dimension inference
+(:mod:`repro.lint.naming`): only expressions whose names positively mark
+them as time, energy, or power participate, so unannotated helper
+variables never false-positive.  Multiplication and division are
+deliberately transparent — they are exactly how units convert.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Diagnostic, ModuleContext, Rule, register_rule
+from repro.lint.rules_comparison import (
+    compare_pairs,
+    is_float_literal,
+    expression_dimension,
+    has_tolerance_marker,
+)
+
+__all__ = ["MixedUnitAdditionRule", "MixedUnitComparisonRule"]
+
+
+class MixedUnitAdditionRule(Rule):
+    code = "RPR201"
+    name = "no-mixed-unit-addition"
+    description = (
+        "adding/subtracting quantities of different dimensions (e.g. "
+        "energy + power); convert with a multiply/divide first"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left = expression_dimension(node.left)
+            right = expression_dimension(node.right)
+            if (
+                left.is_quantity
+                and right.is_quantity
+                and left is not right
+            ):
+                verb = "add" if isinstance(node.op, ast.Add) else "subtract"
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"cannot {verb} {right.value} {'to' if verb == 'add' else 'from'} "
+                    f"{left.value}; eqs. (5)-(9) convert units by "
+                    "multiplying/dividing, never adding",
+                )
+
+
+class MixedUnitComparisonRule(Rule):
+    code = "RPR202"
+    name = "no-mixed-unit-comparison"
+    description = (
+        "comparing quantities of different dimensions (e.g. time vs "
+        "energy); convert with a multiply/divide first"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if has_tolerance_marker(node):
+                continue
+            for left, op, right in compare_pairs(node):
+                if is_float_literal(left) or is_float_literal(right):
+                    continue
+                left_dim = expression_dimension(left)
+                right_dim = expression_dimension(right)
+                if (
+                    left_dim.is_quantity
+                    and right_dim.is_quantity
+                    and left_dim is not right_dim
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"comparison of {left_dim.value} against "
+                        f"{right_dim.value}; the operands cannot share a "
+                        "unit — convert one side first",
+                    )
+
+
+register_rule(MixedUnitAdditionRule())
+register_rule(MixedUnitComparisonRule())

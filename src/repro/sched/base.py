@@ -28,7 +28,7 @@ from repro.energy.predictor import HarvestPredictor
 from repro.energy.storage import EnergyStorage
 from repro.tasks.job import Job
 from repro.tasks.queue import EdfReadyQueue
-from repro.timeutils import INFINITY
+from repro.timeutils import INFINITY, time_le
 
 __all__ = ["EnergyOutlook", "Decision", "Scheduler"]
 
@@ -70,7 +70,7 @@ class EnergyOutlook:
         """
         if math.isinf(self._storage.stored):
             return INFINITY
-        if until <= now:
+        if time_le(until, now):
             return self._storage.stored
         return self._storage.stored + self._predictor.predict_energy(now, until)
 

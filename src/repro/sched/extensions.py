@@ -25,6 +25,7 @@ from repro.core.ea_dvfs import EaDvfsScheduler
 from repro.cpu.dvfs import FrequencyLevel
 from repro.sched.base import Decision, EnergyOutlook
 from repro.tasks.queue import EdfReadyQueue
+from repro.timeutils import time_le
 
 __all__ = ["OverflowAwareEaDvfsScheduler"]
 
@@ -72,9 +73,14 @@ class OverflowAwareEaDvfsScheduler(EaDvfsScheduler):
             return decision
 
         job = decision.job
-        if self._predicted_overflow(
-            now, job.absolute_deadline, job.remaining_work, level, outlook
-        ) <= 0.0:
+        # Sub-EPSILON predicted overflow is float noise, not bankable
+        # energy: treat it as zero via the shared tolerance.
+        if time_le(
+            self._predicted_overflow(
+                now, job.absolute_deadline, job.remaining_work, level, outlook
+            ),
+            0.0,
+        ):
             return decision
 
         # Raise the level until the predicted overflow vanishes (or full
@@ -86,10 +92,13 @@ class OverflowAwareEaDvfsScheduler(EaDvfsScheduler):
             if candidate.speed <= level.speed:
                 continue
             chosen = candidate
-            if self._predicted_overflow(
-                now, job.absolute_deadline, job.remaining_work, candidate,
-                outlook,
-            ) <= 0.0:
+            if time_le(
+                self._predicted_overflow(
+                    now, job.absolute_deadline, job.remaining_work, candidate,
+                    outlook,
+                ),
+                0.0,
+            ):
                 break
         if chosen.speed >= self._scale.max_level.speed:
             return Decision.run(job, self._scale.max_level)

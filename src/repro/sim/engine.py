@@ -9,6 +9,10 @@ enough to be reused for other event-driven models (see the unit tests for a
 standalone M/M/1-style example).
 """
 
+# The event queue orders and dispatches instants *exactly* (total order
+# for the heap); float tolerance is applied once, in Clock.advance_to.
+# repro-lint: disable-file=RPR102 -- kernel compares instants exactly
+
 from __future__ import annotations
 
 import heapq

@@ -577,7 +577,7 @@ class HarvestingRtSimulator:
         harvest = self._source.power(t)
         draw = self._current_draw(harvest)
 
-        if duration > 0.0:
+        if duration > 0.0:  # repro-lint: disable=RPR101 -- exact: zero-length steps only
             # Split the draw at the depletion instant if it falls inside
             # (can only happen from float noise, since _segment_end caps
             # at depletion; stay defensive).

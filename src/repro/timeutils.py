@@ -105,5 +105,5 @@ def validate_interval(t0: float, t1: float) -> None:
         raise ValueError(f"interval start must be finite, got {t0!r}")
     if math.isnan(t1):
         raise ValueError("interval end is NaN")
-    if t1 < t0:
+    if t1 < t0:  # repro-lint: disable=RPR102 -- validation is exact by design
         raise ValueError(f"interval end {t1!r} precedes start {t0!r}")

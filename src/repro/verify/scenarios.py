@@ -121,7 +121,8 @@ class FaultPlan:
             self.source_fault is not None
             or self.storage_spikes
             or self.predictor_gain != 1.0
-            or self.predictor_offset_power != 0.0
+            # exact: fault-plan fields are drawn from finite menus
+            or self.predictor_offset_power != 0.0  # repro-lint: disable=RPR101 -- config toggle
             or self.overrun
         )
 
@@ -224,7 +225,7 @@ class ScenarioSpec:
             predictor = MeanPowerPredictor()
         if (
             self.faults.predictor_gain != 1.0
-            or self.faults.predictor_offset_power != 0.0
+            or self.faults.predictor_offset_power != 0.0  # repro-lint: disable=RPR101 -- config toggle
         ):
             predictor = BiasedPredictor(
                 predictor,
@@ -325,7 +326,7 @@ class ScenarioSpec:
                 active.append("storage-spikes")
             if self.faults.predictor_gain != 1.0:
                 active.append(f"gain={self.faults.predictor_gain:g}")
-            if self.faults.predictor_offset_power != 0.0:
+            if self.faults.predictor_offset_power != 0.0:  # repro-lint: disable=RPR101 -- config toggle
                 active.append(
                     f"offset={self.faults.predictor_offset_power:g}"
                 )

@@ -99,8 +99,11 @@ def task_params_lists(draw, max_tasks: int = 4):
     for _ in range(n_tasks):
         period = float(draw(st.sampled_from(PERIOD_CHOICES)))
         u = draw(st.floats(min_value=0.02, max_value=0.35))
-        if total_u + u > 1.0:
-            u = max(0.01, 1.0 - total_u)
+        remaining = 1.0 - total_u
+        if u > remaining:
+            if remaining < 0.01:
+                break  # budget exhausted; a floor here would overshoot U=1
+            u = remaining
         total_u += u
         bcet = draw(st.sampled_from([1.0, 1.0, 0.6]))
         tasks.append(

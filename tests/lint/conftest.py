@@ -1,0 +1,18 @@
+"""Shared helpers for the static-analysis tests."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source
+
+
+@pytest.fixture
+def codes_in():
+    """Lint a snippet and return the sorted list of finding codes."""
+
+    def _codes(snippet: str, filename: str = "src/repro/fake.py") -> list[str]:
+        report = lint_source(textwrap.dedent(snippet), filename=filename)
+        return sorted(diag.code for diag in report.diagnostics)
+
+    return _codes

@@ -1,0 +1,91 @@
+"""Tolerant-comparison rule family (RPR101, RPR102)."""
+
+from repro.lint.naming import Dimension, infer_dimension
+
+
+class TestDimensionInference:
+    def test_exact_time_names(self):
+        for name in ("now", "deadline", "duration", "t0", "wcet"):
+            assert infer_dimension(name) is Dimension.TIME
+
+    def test_suffix_conventions(self):
+        assert infer_dimension("harvest_power") is Dimension.POWER
+        assert infer_dimension("predict_energy") is Dimension.ENERGY
+        assert infer_dimension("switch_to_max_at") is Dimension.TIME
+        assert infer_dimension("fade_rate") is Dimension.POWER
+
+    def test_private_prefix_is_stripped(self):
+        assert infer_dimension("_spike_power") is Dimension.POWER
+
+    def test_dimensionless_vocabulary(self):
+        assert infer_dimension("speed") is Dimension.DIMENSIONLESS
+        assert infer_dimension("miss_rate") is Dimension.DIMENSIONLESS
+        assert infer_dimension("charge_efficiency") is Dimension.DIMENSIONLESS
+
+    def test_predicates_and_helpers_are_unknown(self):
+        assert infer_dimension("is_empty") is Dimension.UNKNOWN
+        assert infer_dimension("time_to_empty") is Dimension.UNKNOWN
+        assert infer_dimension("total_drawn") is Dimension.UNKNOWN
+
+    def test_unmatched_names_are_unknown(self):
+        assert infer_dimension("widget") is Dimension.UNKNOWN
+
+
+class TestLiteralComparison:
+    def test_duration_eq_zero_flagged(self, codes_in):
+        assert "RPR101" in codes_in("done = duration == 0.0\n")
+
+    def test_energy_le_literal_flagged(self, codes_in):
+        assert "RPR101" in codes_in("low = energy <= 0.5\n")
+
+    def test_call_result_dimension_flagged(self, codes_in):
+        assert "RPR101" in codes_in(
+            "ok = outlook.predict_energy(a, b) <= 0.0\n"
+        )
+
+    def test_unknown_names_clean(self, codes_in):
+        assert codes_in("flag = widget == 0.0\n") == []
+
+    def test_int_literal_validation_idiom_clean(self, codes_in):
+        assert codes_in("bad = duration < 0\n") == []
+
+    def test_epsilon_marked_comparison_clean(self, codes_in):
+        assert codes_in("empty = energy <= EPSILON\n") == []
+        assert codes_in("empty = stored <= self.eps\n") == []
+
+    def test_infinity_comparison_clean(self, codes_in):
+        assert codes_in("never = deadline == INFINITY\n") == []
+        assert codes_in("never = deadline == math.inf\n") == []
+
+    def test_message_names_the_predicate(self):
+        from repro.lint import lint_source
+
+        report = lint_source("done = duration == 0.0\n")
+        assert "time_eq" in report.diagnostics[0].message
+
+
+class TestPairComparison:
+    def test_time_vs_time_flagged(self, codes_in):
+        assert "RPR102" in codes_in("late = now > deadline\n")
+
+    def test_energy_vs_energy_flagged(self, codes_in):
+        assert "RPR102" in codes_in("short = stored < headroom\n")
+
+    def test_product_side_is_unknown_and_clean(self, codes_in):
+        # Multiplication converts units; the checker must not guess the
+        # product's dimension.
+        assert codes_in("short = energy < power * other\n") == []
+
+    def test_epsilon_exempts_pair(self, codes_in):
+        assert codes_in("late = now > deadline + EPSILON\n") == []
+
+    def test_unknown_side_clean(self, codes_in):
+        assert codes_in("late = now > widget\n") == []
+
+    def test_is_comparison_ignored(self, codes_in):
+        assert codes_in("same = deadline is other_deadline\n") == []
+
+    def test_int_chain_validation_clean(self, codes_in):
+        assert codes_in(
+            "ok = 1 <= min_duration <= max_duration\n"
+        ) == []

@@ -1,0 +1,81 @@
+"""Determinism rule family (RPR001-RPR004)."""
+
+
+class TestGlobalRandom:
+    def test_import_random_flagged(self, codes_in):
+        assert "RPR001" in codes_in("import random\n")
+
+    def test_from_random_import_flagged(self, codes_in):
+        assert "RPR001" in codes_in("from random import shuffle\n")
+
+    def test_random_call_flagged(self, codes_in):
+        assert "RPR001" in codes_in("value = random.random()\n")
+
+    def test_numpy_default_rng_not_confused_with_random(self, codes_in):
+        assert codes_in(
+            "import numpy as np\nrng = np.random.default_rng(7)\n"
+        ) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, codes_in):
+        assert "RPR002" in codes_in("import time\nstamp = time.time()\n")
+
+    def test_datetime_now_flagged(self, codes_in):
+        assert "RPR002" in codes_in(
+            "import datetime\nstamp = datetime.datetime.now()\n"
+        )
+
+    def test_perf_counter_allowed(self, codes_in):
+        # perf_counter times the real execution (progress meters), which
+        # is legitimate; it must not be flagged.
+        assert codes_in("import time\nstart = time.perf_counter()\n") == []
+
+    def test_monotonic_allowed(self, codes_in):
+        assert codes_in("import time\nstart = time.monotonic()\n") == []
+
+
+class TestSeededRng:
+    def test_unseeded_default_rng_flagged(self, codes_in):
+        assert "RPR003" in codes_in(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+
+    def test_none_seed_flagged(self, codes_in):
+        assert "RPR003" in codes_in(
+            "import numpy as np\nrng = np.random.default_rng(None)\n"
+        )
+
+    def test_explicit_seed_clean(self, codes_in):
+        assert codes_in(
+            "import numpy as np\nrng = np.random.default_rng(seed)\n"
+        ) == []
+
+    def test_keyword_seed_clean(self, codes_in):
+        assert codes_in(
+            "import numpy as np\nrng = np.random.default_rng(seed=3)\n"
+        ) == []
+
+    def test_allowed_under_tests_tree(self, codes_in):
+        snippet = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes_in(snippet, filename="tests/fake/test_x.py") == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self, codes_in):
+        assert "RPR004" in codes_in("for x in {1, 2, 3}:\n    pass\n")
+
+    def test_for_over_set_call_flagged(self, codes_in):
+        assert "RPR004" in codes_in("for x in set(items):\n    pass\n")
+
+    def test_comprehension_over_set_flagged(self, codes_in):
+        assert "RPR004" in codes_in("out = [x for x in {1, 2}]\n")
+
+    def test_list_of_set_flagged(self, codes_in):
+        assert "RPR004" in codes_in("order = list(set(items))\n")
+
+    def test_sorted_set_is_clean(self, codes_in):
+        assert codes_in("for x in sorted(set(items)):\n    pass\n") == []
+
+    def test_plain_list_iteration_clean(self, codes_in):
+        assert codes_in("for x in [1, 2, 3]:\n    pass\n") == []

@@ -1,0 +1,28 @@
+"""The linter is self-hosted: the shipped tree must be clean.
+
+This is the committed zero-findings baseline the CI lint job enforces.
+If a change trips it, either fix the violation or add an inline
+``# repro-lint: disable=RPRxxx -- why`` with a justification (see
+``docs/static-analysis.md``).
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfHost:
+    def test_src_and_benchmarks_are_clean(self):
+        report = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks"], root=REPO_ROOT
+        )
+        assert report.files_checked > 80
+        assert report.ok, "\n" + report.format_text()
+
+    def test_lint_package_lints_itself(self):
+        report = lint_paths(
+            [REPO_ROOT / "src" / "repro" / "lint"], root=REPO_ROOT
+        )
+        assert report.ok, "\n" + report.format_text()

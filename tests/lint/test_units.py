@@ -1,0 +1,44 @@
+"""Quantity-unit rule family (RPR201, RPR202)."""
+
+
+class TestMixedAddition:
+    def test_energy_plus_power_flagged(self, codes_in):
+        assert "RPR201" in codes_in("total = energy + harvest_power\n")
+
+    def test_time_minus_energy_flagged(self, codes_in):
+        assert "RPR201" in codes_in("slack = deadline - stored\n")
+
+    def test_same_dimension_addition_clean(self, codes_in):
+        assert codes_in("window = deadline - now\n") == []
+        assert codes_in("budget = stored + predicted_energy\n") == []
+
+    def test_multiplication_converts_units_clean(self, codes_in):
+        # P * t is energy — exactly the conversion eqs. (5)-(9) use.
+        assert codes_in("consumed = draw_power * duration\n") == []
+        assert codes_in("sr_n = avail_energy / level_power\n") == []
+
+    def test_unknown_operand_clean(self, codes_in):
+        assert codes_in("x = energy + widget\n") == []
+
+    def test_dimensionless_operand_clean(self, codes_in):
+        # speed is a ratio; adding it to nothing physical is outside the
+        # checker's claim.
+        assert codes_in("x = speed + utilization\n") == []
+
+
+class TestMixedComparison:
+    def test_time_vs_energy_flagged(self, codes_in):
+        assert "RPR202" in codes_in("odd = deadline < stored\n")
+
+    def test_energy_vs_power_flagged(self, codes_in):
+        assert "RPR202" in codes_in("odd = energy >= draw_power\n")
+
+    def test_same_dimension_is_not_a_unit_error(self, codes_in):
+        codes = codes_in("late = now > deadline\n")
+        assert "RPR202" not in codes  # RPR102's territory, not RPR202's
+
+    def test_nested_sum_keeps_dimension(self, codes_in):
+        assert "RPR202" in codes_in("odd = (deadline - now) < stored\n")
+
+    def test_epsilon_exempts(self, codes_in):
+        assert codes_in("odd = deadline < stored + EPSILON\n") == []

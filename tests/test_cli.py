@@ -108,6 +108,65 @@ class TestVerifyCommand:
         assert main(["verify", "--n", "0", "--quiet"]) == 2
         assert "--n must be >= 1" in capsys.readouterr().err
 
+class TestLintCommand:
+    """Exit-code contract mirrors `repro verify`: 0 clean, 1 findings,
+    2 internal errors."""
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src", "benchmarks"]
+        assert args.output_format == "text"
+
+    def test_clean_tree_exits_zero(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "1 finding(s)" in out
+
+    def test_missing_path_exits_two(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "missing.py")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main(["lint", "--format", "json", str(dirty)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"] == {"RPR001": 1}
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "RPR301" in out
+
+    def test_suppression_respected_end_to_end(self, capsys, tmp_path):
+        quiet = tmp_path / "quiet.py"
+        quiet.write_text("import random  # repro-lint: disable=RPR001\n")
+        assert main(["lint", str(quiet)]) == 0
+
+    def test_self_hosted_run_is_clean(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        code = main(
+            ["lint", str(root / "src"), str(root / "benchmarks")]
+        )
+        assert code == 0, capsys.readouterr().out
+
+
+class TestVerifyDiscrepancies:
     def test_discrepancies_exit_nonzero(self, capsys, monkeypatch):
         from repro.verify import DifferentialReport, Discrepancy
         import repro.verify
