@@ -31,10 +31,13 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.experiments.common import PaperSetup
 from repro.sim.simulator import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sweep import CapacitySweepPoint
 
 __all__ = [
     "RunFailure",
@@ -266,7 +269,7 @@ def parallel_capacity_sweep(
     seeds: Sequence[int],
     setup: Optional[PaperSetup] = None,
     max_workers: Optional[int] = None,
-):
+) -> "list[CapacitySweepPoint]":
     """Parallel twin of :func:`repro.analysis.sweep.run_capacity_sweep`.
 
     Returns the same ``list[CapacitySweepPoint]`` structure (with slim

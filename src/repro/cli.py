@@ -16,7 +16,10 @@
     seeded random scenarios; exits non-zero on any discrepancy.
 ``repro lint [paths]``
     Domain-aware static analysis (determinism, tolerant-comparison,
-    quantity-unit, API-contract rules); exits non-zero on any finding.
+    flow-aware quantity-unit, API-contract rules); exits non-zero on any
+    finding.  ``--baseline``/``--update-baseline`` turn it into a
+    ratchet gate, ``--format sarif`` emits SARIF 2.1.0 for review UIs,
+    and ``--fix`` applies the safe mechanical rewrites.
 """
 
 from __future__ import annotations
@@ -114,17 +117,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="domain-aware static analysis of the source tree",
     )
     lint.add_argument(
-        "paths", nargs="*", default=["src", "benchmarks"],
-        help="files/directories to lint (default: src benchmarks)",
+        "paths", nargs="*", default=["src", "benchmarks", "tests"],
+        help="files/directories to lint (default: src benchmarks tests)",
     )
     lint.add_argument(
         "--format", dest="output_format", default="text",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         help="diagnostic output format (default text)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="compare findings against a baseline file; fail only on "
+        "new findings or suppression-count growth",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings to the --baseline file and exit",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply the safe auto-fixes, then re-run the analysis",
     )
     lint.add_argument(
         "--list-rules", action="store_true",
         help="list the registered rule codes and exit",
+    )
+    lint.add_argument(
+        "--list-fixers", action="store_true",
+        help="list the registered fixers (and their safety) and exit",
     )
     return parser
 
@@ -285,22 +305,71 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Exit-code contract matches `repro verify`: 0 clean, 1 findings,
     # 2 internal/usage errors.
-    from repro.lint import LintError, all_rules, lint_paths
+    import json
+
+    from repro.lint import (
+        Baseline,
+        LintError,
+        all_rules,
+        apply_fixes,
+        lint_paths,
+        to_sarif,
+    )
+    from repro.lint.fixers import all_fixers
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.code}  {rule.name}")
             print(f"        {rule.description}")
         return 0
+    if args.list_fixers:
+        for fixer in all_fixers():
+            safety = "safe" if fixer.safe else "UNSAFE (never auto-applied)"
+            print(f"{fixer.name}  [{', '.join(sorted(fixer.codes))}] {safety}")
+            print(f"        {fixer.description}")
+        return 0
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline PATH",
+              file=sys.stderr)
+        return 2
     try:
-        report = lint_paths(args.paths)
+        if args.fix:
+            outcome = apply_fixes(args.paths)
+            for path in outcome.files_skipped:
+                print(f"skipped (would not re-parse): {path}",
+                      file=sys.stderr)
+            print(
+                f"applied {outcome.edits_applied} fix(es) in "
+                f"{len(outcome.files_changed)} file(s)"
+            )
+            assert outcome.report_after is not None
+            report = outcome.report_after
+        else:
+            report = lint_paths(args.paths)
+        if args.update_baseline:
+            Baseline.from_report(report).save(args.baseline)
+            print(
+                f"wrote baseline {args.baseline}: "
+                f"{len(report.diagnostics)} finding(s), "
+                f"{report.suppression_count} suppression(s)"
+            )
+            return 0
+        comparison = None
+        if args.baseline:
+            comparison = Baseline.load(args.baseline).compare(report)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.output_format == "json":
         print(report.to_json())
+    elif args.output_format == "sarif":
+        print(json.dumps(to_sarif(report), indent=2, sort_keys=True))
     else:
         print(report.format_text())
+    if comparison is not None:
+        print()
+        print(comparison.format_text())
+        return 0 if comparison.ok else 1
     return 0 if report.ok else 1
 
 

@@ -30,7 +30,7 @@ from repro.core.slowdown import compute_plan
 from repro.cpu.dvfs import FrequencyScale
 from repro.sched.base import Decision, EnergyOutlook, Scheduler
 from repro.tasks.queue import EdfReadyQueue
-from repro.timeutils import EPSILON
+from repro.timeutils import EPSILON, time_le
 
 __all__ = ["EaDvfsScheduler"]
 
@@ -112,7 +112,7 @@ class EaDvfsScheduler(Scheduler):
 
         if plan.switch_to_max_at is None:
             return Decision.run(job, plan.level)
-        if plan.switch_to_max_at <= now + 1e-6:
+        if time_le(plan.switch_to_max_at, now, eps=1e-6):
             # The slow phase would be vanishingly short — skip straight to
             # full speed rather than scheduling a degenerate switch.
             return Decision.run(job, self._scale.max_level)

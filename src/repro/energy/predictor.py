@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import abc
 import math
+from typing import Iterator
 
 import numpy as np
 
@@ -202,7 +203,7 @@ class ProfilePredictor(HarvestPredictor):
         """Copy of the per-bin mean-power estimates (for inspection)."""
         return self._estimates.copy()
 
-    def _segments(self, t0: float, t1: float):
+    def _segments(self, t0: float, t1: float) -> Iterator[tuple[int, float]]:
         """Yield ``(bin_index, duration)`` covering ``[t0, t1]`` exactly."""
         t = t0
         while t < t1 - EPSILON:

@@ -500,7 +500,9 @@ class ScaledSource(EnergySource):
     negative offset cannot produce negative harvest.
     """
 
-    def __init__(self, inner: EnergySource, gain: float = 1.0, offset: float = 0.0):
+    def __init__(
+        self, inner: EnergySource, gain: float = 1.0, offset: float = 0.0
+    ) -> None:
         if gain < 0 or not math.isfinite(gain):
             raise ValueError(f"gain must be finite and >= 0, got {gain!r}")
         if not math.isfinite(offset):

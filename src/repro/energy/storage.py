@@ -372,7 +372,9 @@ class NonIdealStorage(EnergyStorage):
             # capped at the inflow; outflow is zero here).
             decay_rate = self._leak - inflow  # > 0 here
             t_empty = old / decay_rate
-            if t_empty >= duration:
+            # Exact split is safe: both branches agree at t_empty ==
+            # duration (level 0.0, leak for the whole segment).
+            if t_empty >= duration:  # repro-lint: disable=RPR102 -- branches agree at the boundary
                 self._stored = old - decay_rate * duration
                 leaked = self._leak * duration
             else:

@@ -25,6 +25,7 @@ from repro.sim.simulator import (
 )
 from repro.sim.tracing import TraceKind
 from repro.tasks.task import AperiodicTask, TaskSet
+from repro.timeutils import time_le
 
 __all__ = [
     "MotivationOutcome",
@@ -93,7 +94,7 @@ def _run_scenario(
         tau2_completion=completions.get("tau2"),
         tau2_met=(
             tau2.completion_time is not None
-            and tau2.completion_time <= tau2.absolute_deadline + 1e-9
+            and time_le(tau2.completion_time, tau2.absolute_deadline)
         ),
     )
 

@@ -258,10 +258,24 @@ class DegradedStorage(EnergyStorage):
         inner = self._inner
         if math.isinf(inner.stored):
             return INFINITY
-        if not self.has_spikes or inner.stored <= EPSILON:
-            # No spikes, or the empty-pinned regime (spike is off there):
-            # the inner model's own prediction is exact.
+        if not self.has_spikes:
             return inner.time_to_empty(harvest_power, draw_power)
+        if inner.stored <= EPSILON:
+            # Empty-pinned regime: the spike drain is off (nothing to
+            # drain), so the inner prediction is exact *while pinned*.
+            # But a charging store rises out of the pinned regime, and a
+            # spike window can then flip the net flow negative — which
+            # the inner model cannot see.  Split at the current spike
+            # window's end: up to there the spike stays off (advance()
+            # gates it on the level at the window start, which is
+            # pinned), so the level cannot cross zero before that, and
+            # the caller re-evaluates with the recharged level.
+            t_inner = inner.time_to_empty(harvest_power, draw_power)
+            index = self._window_index(self._elapsed)
+            span = (index + 1) * self._quantum - self._elapsed
+            if span <= EPSILON:
+                span = self._quantum
+            return min(t_inner, span)
 
         # The inner net_flow is state-dependent only through its
         # empty-pinning; the store is non-empty here, so both regime rates
@@ -326,7 +340,7 @@ class DegradedStorage(EnergyStorage):
         leaked = 0.0
         remaining = duration
         pos = self._elapsed
-        while remaining > 0.0:
+        while remaining > 0.0:  # repro-lint: disable=RPR101 -- span snaps remaining to exactly 0.0
             index = self._window_index(pos)
             window_end = (index + 1) * self._quantum
             span = window_end - pos

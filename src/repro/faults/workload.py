@@ -79,7 +79,9 @@ class OverrunWorkload(TaskSet):
         """Inclusive ``(min, max)`` uniform stretch factor."""
         return (self._min_stretch, self._max_stretch)
 
-    def jobs(self, horizon: float, rng=None) -> list[Job]:
+    def jobs(
+        self, horizon: float, rng: np.random.Generator | None = None
+    ) -> list[Job]:
         """The inner jobs with seeded overruns applied.
 
         Note that ``scaled_to`` returns a plain (fault-free)

@@ -14,6 +14,9 @@ RPR101     tolerant comparison for quantity-vs-float-literal
 RPR102     tolerant comparison for quantity-vs-quantity
 RPR201     no additive mixing of time/energy/power units
 RPR202     no cross-unit comparisons
+RPR203     no reassignment contradicting a name's dimension
+RPR204     no return contradicting the function's dimension
+RPR205     no wrong-dimension argument to an indexed function
 RPR301     Scheduler subclasses override ``decide`` and declare ``name``
 RPR302     schedulers must be reachable via ``sched/registry.py``
 RPR303     frozen ``ScenarioSpec`` is never mutated
@@ -21,12 +24,24 @@ RPR901     (engine) file failed to parse
 RPR902     (engine) suppression names an unknown rule code
 =========  ==============================================================
 
+Since PR 5 the quantity rules (RPR1xx/RPR2xx) are *flow-aware*: an
+abstract interpreter (:mod:`repro.lint.dataflow`) propagates dimensions
+through assignments, unpacking, branches, and arithmetic — seeded from
+the naming vocabulary, from ``Seconds``/``Joules``/``Watts`` annotations,
+and from a whole-project signature index (:mod:`repro.lint.index`).
+The determinism family (RPR00x) is relaxed under ``tests/``.
+
 Suppress a finding with an inline ``# repro-lint: disable=RPR101`` (or
 ``disable-file=`` for the whole file), ideally followed by a short
-``-- why`` note.
+``-- why`` note.  CI ratchets the suppression count and the finding set
+through ``lint-baseline.json`` (``--baseline`` / ``--update-baseline``),
+and ``repro lint --fix`` applies the safe mechanical rewrites.
 """
 
+from repro.lint.baseline import Baseline, BaselineComparison
+from repro.lint.dataflow import ModuleDataflow, analyze_module
 from repro.lint.engine import (
+    ENGINE_VERSION,
     Diagnostic,
     LintError,
     LintReport,
@@ -35,18 +50,32 @@ from repro.lint.engine import (
     lint_paths,
     lint_source,
     register_rule,
+    ruleset_codes,
 )
+from repro.lint.fixers import apply_fixes
+from repro.lint.index import ProjectIndex, build_index
 from repro.lint.naming import Dimension, infer_dimension
+from repro.lint.sarif import to_sarif
 
 __all__ = [
+    "ENGINE_VERSION",
+    "Baseline",
+    "BaselineComparison",
     "Diagnostic",
     "Dimension",
     "LintError",
     "LintReport",
+    "ModuleDataflow",
+    "ProjectIndex",
     "Rule",
     "all_rules",
+    "analyze_module",
+    "apply_fixes",
+    "build_index",
     "infer_dimension",
     "lint_paths",
     "lint_source",
     "register_rule",
+    "ruleset_codes",
+    "to_sarif",
 ]

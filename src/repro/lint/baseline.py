@@ -1,0 +1,195 @@
+"""Finding baseline: the suppression ratchet behind ``--baseline``.
+
+A green-only gate would force every pre-existing finding to be fixed (or
+suppressed) before the linter could guard anything — which is how
+linters end up disabled.  The baseline records the *accepted* findings
+and the current suppression count; CI then fails only on regressions:
+
+* a finding not in the baseline (new violation), or
+* more suppression comments than the baseline allows (silencing instead
+  of fixing).
+
+Findings that disappear are reported as progress; ``--update-baseline``
+re-pins the file so the ratchet only ever tightens.
+
+Fingerprints are ``(path, code, message)`` **multisets** — line numbers
+are deliberately excluded so unrelated edits that shift a finding down
+the file do not churn the baseline, while a *second* identical finding
+in the same file still registers as new.  The engine version and rule
+set are stored alongside; comparing against a baseline produced by
+different rule semantics raises instead of silently matching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.lint.engine import (
+    ENGINE_VERSION,
+    Diagnostic,
+    LintError,
+    LintReport,
+    ruleset_codes,
+)
+
+__all__ = ["Baseline", "BaselineComparison", "fingerprint"]
+
+#: Schema version of the baseline file itself.
+BASELINE_FORMAT = 1
+
+Fingerprint = tuple[str, str, str]
+
+
+def fingerprint(diag: Diagnostic) -> Fingerprint:
+    """Line-independent identity of a finding."""
+    return (diag.path, diag.code, diag.message)
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineComparison:
+    """Outcome of holding a fresh report against a baseline."""
+
+    #: Findings not covered by the baseline — these fail the gate.
+    new: tuple[Diagnostic, ...]
+    #: Baselined findings that no longer occur (progress, not failure).
+    fixed_count: int
+    suppression_count: int
+    baseline_suppression_count: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.new
+            and self.suppression_count <= self.baseline_suppression_count
+        )
+
+    def format_text(self) -> str:
+        lines = []
+        if self.new:
+            lines.append(f"{len(self.new)} new finding(s) not in baseline:")
+            lines.extend(f"  {diag.format_text()}" for diag in self.new)
+        if self.suppression_count > self.baseline_suppression_count:
+            lines.append(
+                f"suppression count grew {self.baseline_suppression_count} "
+                f"-> {self.suppression_count}; fix the finding or update "
+                "the baseline deliberately"
+            )
+        if self.fixed_count:
+            lines.append(
+                f"{self.fixed_count} baselined finding(s) no longer occur; "
+                "run --update-baseline to ratchet them out"
+            )
+        if self.ok:
+            lines.append("baseline check passed: no new findings")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class Baseline:
+    """The accepted findings of a tree, pinned to engine semantics."""
+
+    engine_version: str
+    ruleset: tuple[str, ...]
+    #: Multiset of accepted finding fingerprints.
+    counts: dict[Fingerprint, int]
+    suppression_count: int
+
+    @classmethod
+    def from_report(cls, report: LintReport) -> "Baseline":
+        counts: dict[Fingerprint, int] = {}
+        for diag in report.diagnostics:
+            fp = fingerprint(diag)
+            counts[fp] = counts.get(fp, 0) + 1
+        return cls(
+            engine_version=ENGINE_VERSION,
+            ruleset=ruleset_codes(),
+            counts=counts,
+            suppression_count=report.suppression_count,
+        )
+
+    def check_compatible(self) -> None:
+        """Refuse to compare across engine/ruleset generations."""
+        if self.engine_version != ENGINE_VERSION:
+            raise LintError(
+                f"baseline was written by engine {self.engine_version}, "
+                f"this is {ENGINE_VERSION}; regenerate it with "
+                "--update-baseline"
+            )
+        current = ruleset_codes()
+        if self.ruleset != current:
+            raise LintError(
+                "baseline rule set does not match the registered rules "
+                f"({', '.join(self.ruleset)} vs {', '.join(current)}); "
+                "regenerate it with --update-baseline"
+            )
+
+    def compare(self, report: LintReport) -> BaselineComparison:
+        self.check_compatible()
+        remaining = dict(self.counts)
+        new: list[Diagnostic] = []
+        for diag in report.diagnostics:
+            fp = fingerprint(diag)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+            else:
+                new.append(diag)
+        return BaselineComparison(
+            new=tuple(new),
+            fixed_count=sum(remaining.values()),
+            suppression_count=report.suppression_count,
+            baseline_suppression_count=self.suppression_count,
+        )
+
+    def to_json(self) -> str:
+        findings = [
+            {"path": path, "code": code, "message": message, "count": n}
+            for (path, code, message), n in sorted(self.counts.items())
+        ]
+        payload = {
+            "baseline_format": BASELINE_FORMAT,
+            "engine_version": self.engine_version,
+            "ruleset": list(self.ruleset),
+            "suppressions": self.suppression_count,
+            "findings": findings,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline file is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get(
+            "baseline_format"
+        ) != BASELINE_FORMAT:
+            raise LintError(
+                "unrecognized baseline format; regenerate the file with "
+                "--update-baseline"
+            )
+        try:
+            counts: dict[Fingerprint, int] = {}
+            for entry in payload["findings"]:
+                fp = (entry["path"], entry["code"], entry["message"])
+                counts[fp] = counts.get(fp, 0) + int(entry["count"])
+            return cls(
+                engine_version=str(payload["engine_version"]),
+                ruleset=tuple(payload["ruleset"]),
+                counts=counts,
+                suppression_count=int(payload["suppressions"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LintError(f"malformed baseline file: {exc!r}") from exc
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")

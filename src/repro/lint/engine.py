@@ -31,9 +31,14 @@ import dataclasses
 import json
 import re
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.dataflow import ModuleDataflow
+    from repro.lint.index import ProjectIndex
 
 __all__ = [
+    "ENGINE_VERSION",
     "Diagnostic",
     "LintError",
     "LintReport",
@@ -44,7 +49,14 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "register_rule",
+    "ruleset_codes",
 ]
+
+#: Version of the analysis engine, recorded in JSON/SARIF reports and in
+#: baseline files so a stale baseline is detected instead of silently
+#: matching against different semantics.  Bump on any change to rule
+#: behaviour or diagnostic messages.
+ENGINE_VERSION = "2.0.0"
 
 #: Code attached to files that fail to parse.
 SYNTAX_ERROR_CODE = "RPR901"
@@ -95,6 +107,12 @@ class Suppressions:
         codes = self.by_line.get(line, frozenset())
         return "all" in codes or code in codes
 
+    def count(self) -> int:
+        """Total suppressed codes — the quantity the baseline ratchets."""
+        return sum(len(codes) for codes in self.by_line.values()) + len(
+            self.whole_file
+        )
+
 
 def parse_suppressions(source: str) -> tuple[Suppressions, list[tuple[int, str]]]:
     """Scan source lines for suppression comments.
@@ -136,11 +154,30 @@ class ModuleContext:
     source: str
     tree: ast.Module
     suppressions: Suppressions
+    #: Project-wide signature index, set by the engine before rules run
+    #: (``None`` only when a context is built by hand in tests).
+    index: "ProjectIndex | None" = None
+    _dataflow: "ModuleDataflow | None" = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_test_code(self) -> bool:
         """Whether the file lives under a ``tests`` directory."""
         return "tests" in Path(self.display_path).parts
+
+    @property
+    def dataflow(self) -> "ModuleDataflow":
+        """Lazily computed dataflow facts for this module."""
+        if self._dataflow is None:
+            from repro.lint.dataflow import analyze_module
+            from repro.lint.index import build_index
+
+            index = self.index
+            if index is None:
+                index = build_index([self.tree])
+            self._dataflow = analyze_module(self.tree, index)
+        return self._dataflow
 
     def diagnostic(
         self, node: ast.AST, code: str, message: str
@@ -163,6 +200,10 @@ class Rule(abc.ABC):
     name: str = ""
     #: One-line description of what the rule enforces.
     description: str = ""
+    #: Whether the rule applies under ``tests/`` (the relaxed profile).
+    #: Determinism rules opt out: test fixtures legitimately use ad-hoc
+    #: randomness and wall-clock reads that production code must not.
+    run_on_tests: bool = True
 
     @abc.abstractmethod
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
@@ -203,6 +244,12 @@ def all_rules() -> tuple[Rule, ...]:
     return tuple(_RULES[code] for code in sorted(_RULES))
 
 
+def ruleset_codes(rules: Sequence[Rule] | None = None) -> tuple[str, ...]:
+    """Sorted rule codes of a run — the ruleset version for baselines."""
+    selected = all_rules() if rules is None else tuple(rules)
+    return tuple(sorted(rule.code for rule in selected))
+
+
 _BUILTINS_LOADED = False
 
 
@@ -226,6 +273,9 @@ class LintReport:
 
     diagnostics: list[Diagnostic] = dataclasses.field(default_factory=list)
     files_checked: int = 0
+    #: Total inline/whole-file suppression slots across the linted files;
+    #: the baseline ratchet refuses silent growth of this number.
+    suppression_count: int = 0
 
     @property
     def ok(self) -> bool:
@@ -240,12 +290,22 @@ class LintReport:
     def format_text(self) -> str:
         lines = [d.format_text() for d in self.diagnostics]
         if self.diagnostics:
-            summary = ", ".join(
-                f"{code} x{n}" for code, n in self.counts_by_code().items()
-            )
+            _ensure_builtin_rules()
+            lines.append("")
+            lines.append("findings by rule:")
+            for code, n in self.counts_by_code().items():
+                rule = _RULES.get(code)
+                label = f"  {code}"
+                if rule is not None:
+                    label += f" ({rule.name})"
+                elif code == SYNTAX_ERROR_CODE:
+                    label += " (syntax-error)"
+                elif code == UNKNOWN_SUPPRESSION_CODE:
+                    label += " (unknown-suppression)"
+                lines.append(f"{label}: {n}")
             lines.append(
                 f"{len(self.diagnostics)} finding(s) in "
-                f"{self.files_checked} file(s): {summary}"
+                f"{self.files_checked} file(s)"
             )
         else:
             lines.append(f"no findings in {self.files_checked} file(s)")
@@ -253,9 +313,12 @@ class LintReport:
 
     def to_json(self) -> str:
         payload = {
+            "engine_version": ENGINE_VERSION,
+            "ruleset": list(ruleset_codes()),
             "files_checked": self.files_checked,
             "findings": [d.to_json() for d in self.diagnostics],
             "counts": self.counts_by_code(),
+            "suppressions": self.suppression_count,
             "ok": self.ok,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
@@ -328,6 +391,7 @@ def lint_source(
     report.diagnostics.extend(extras)
     if ctx is None:
         return report
+    report.suppression_count = ctx.suppressions.count()
     selected = all_rules() if rules is None else tuple(rules)
     report.diagnostics.extend(_run_rules([ctx], selected))
     report.diagnostics.sort(key=Diagnostic.sort_key)
@@ -337,6 +401,11 @@ def lint_source(
 def _run_rules(
     modules: Sequence[ModuleContext], rules: Sequence[Rule]
 ) -> list[Diagnostic]:
+    from repro.lint.index import build_index
+
+    index = build_index([ctx.tree for ctx in modules])
+    for ctx in modules:
+        ctx.index = index
     # A set: chained comparisons can trip the same rule twice at one
     # position; one finding per (position, code, message) is enough.
     out: set[Diagnostic] = set()
@@ -345,6 +414,8 @@ def _run_rules(
     by_display = {ctx.display_path: ctx for ctx in modules}
     for ctx in modules:
         for rule in per_module:
+            if ctx.is_test_code and not rule.run_on_tests:
+                continue
             for diag in rule.check_module(ctx):
                 if not ctx.suppressions.is_suppressed(diag.line, diag.code):
                     out.add(diag)
@@ -381,6 +452,7 @@ def lint_paths(
         report.files_checked += 1
         report.diagnostics.extend(extras)
         if ctx is not None:
+            report.suppression_count += ctx.suppressions.count()
             modules.append(ctx)
     report.diagnostics.extend(_run_rules(modules, selected))
     report.diagnostics.sort(key=Diagnostic.sort_key)

@@ -1,0 +1,339 @@
+"""Conservative auto-fixes: the machinery behind ``repro lint --fix``.
+
+A fixer turns a diagnostic into a concrete text edit.  Every fixer
+declares whether it is *safe* — meaning the rewrite is behaviour-
+preserving up to the tolerance semantics the rule demands — and
+``--fix`` applies **only** safe fixers; unsafe ones exist to document
+what a fix would look like (``--fix`` never selects them, regardless of
+flags, because an unsafe rewrite such as inventing an RNG seed changes
+simulated results).
+
+The one safe fixer rewrites raw comparisons flagged by RPR101/RPR102
+into the :mod:`repro.timeutils` predicates::
+
+    a < b          ->  time_lt(a, b)
+    a != b         ->  (not time_eq(a, b))
+
+Chained comparisons (``a < b < c``) are skipped — splitting them is a
+judgement call.  Required predicate imports are merged into an existing
+``from repro.timeutils import ...`` line or inserted after the last
+top-level import.  Edits are applied bottom-up from exact AST spans, the
+result must re-parse or the file is left untouched, and the engine is
+re-run afterwards so the caller sees the verified post-fix state —
+which also makes ``--fix`` idempotent: a rewritten site is a function
+call, which the comparison rules never flag.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.engine import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    ModuleContext,
+    _parse_module,
+    lint_paths,
+)
+
+__all__ = [
+    "FixOutcome",
+    "Fixer",
+    "SeededRngFixer",
+    "TextEdit",
+    "TolerantComparisonFixer",
+    "all_fixers",
+    "apply_fixes",
+]
+
+_PREDICATE_FOR_OP: dict[type[ast.cmpop], str] = {
+    ast.Eq: "time_eq",
+    ast.NotEq: "time_eq",
+    ast.Lt: "time_lt",
+    ast.LtE: "time_le",
+    ast.Gt: "time_gt",
+    ast.GtE: "time_ge",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TextEdit:
+    """Replace the span ``[start, end)`` (AST coordinates) with text."""
+
+    start_line: int  # 1-based
+    start_col: int  # 0-based
+    end_line: int
+    end_col: int
+    replacement: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedFix:
+    """One edit plus the ``repro.timeutils`` names it requires."""
+
+    edit: TextEdit
+    imports: frozenset[str] = frozenset()
+
+
+class Fixer(abc.ABC):
+    """Turns diagnostics of specific codes into planned edits."""
+
+    #: Short kebab-case identifier.
+    name: str = ""
+    #: Rule codes this fixer can address.
+    codes: frozenset[str] = frozenset()
+    #: Safe fixers preserve behaviour (up to the rule's own tolerance
+    #: semantics) and may be applied mechanically; unsafe fixers change
+    #: observable behaviour and are documentation-only.
+    safe: bool = False
+    description: str = ""
+
+    @abc.abstractmethod
+    def plan(
+        self, ctx: ModuleContext, diagnostics: Sequence[Diagnostic]
+    ) -> list[PlannedFix]:
+        """Planned fixes for this module's diagnostics (may be empty)."""
+
+
+class TolerantComparisonFixer(Fixer):
+    name = "tolerant-comparison"
+    codes = frozenset({"RPR101", "RPR102"})
+    safe = True
+    description = (
+        "rewrite raw quantity comparisons into the repro.timeutils "
+        "predicates (a < b -> time_lt(a, b))"
+    )
+
+    def plan(
+        self, ctx: ModuleContext, diagnostics: Sequence[Diagnostic]
+    ) -> list[PlannedFix]:
+        wanted = {
+            (diag.line, diag.col)
+            for diag in diagnostics
+            if diag.code in self.codes
+        }
+        if not wanted:
+            return []
+        fixes: list[PlannedFix] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if (node.lineno, node.col_offset + 1) not in wanted:
+                continue
+            if len(node.ops) != 1:
+                continue  # chains need human judgement
+            op = node.ops[0]
+            predicate = _PREDICATE_FOR_OP.get(type(op))
+            if predicate is None:
+                continue
+            left = ast.get_source_segment(ctx.source, node.left)
+            right = ast.get_source_segment(ctx.source, node.comparators[0])
+            if left is None or right is None or node.end_lineno is None:
+                continue
+            call = f"{predicate}({left}, {right})"
+            if isinstance(op, ast.NotEq):
+                call = f"(not {call})"
+            fixes.append(
+                PlannedFix(
+                    edit=TextEdit(
+                        start_line=node.lineno,
+                        start_col=node.col_offset,
+                        end_line=node.end_lineno,
+                        end_col=node.end_col_offset or 0,
+                        replacement=call,
+                    ),
+                    imports=frozenset({predicate}),
+                )
+            )
+        return fixes
+
+
+class SeededRngFixer(Fixer):
+    """Documentation-only: what fixing RPR003 would mean.
+
+    Injecting ``seed=0`` silences the rule but *chooses* a stream the
+    author never chose — simulated results change.  Declared unsafe, so
+    ``--fix`` will never apply it; it exists so ``--list-fixers`` can
+    explain the manual fix.
+    """
+
+    name = "seeded-rng"
+    codes = frozenset({"RPR003"})
+    safe = False
+    description = (
+        "UNSAFE: default_rng() -> default_rng(0) changes simulated "
+        "results; pick the component's real seed by hand instead"
+    )
+
+    def plan(
+        self, ctx: ModuleContext, diagnostics: Sequence[Diagnostic]
+    ) -> list[PlannedFix]:
+        wanted = {
+            (diag.line, diag.col)
+            for diag in diagnostics
+            if diag.code in self.codes
+        }
+        fixes: list[PlannedFix] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (node.lineno, node.col_offset + 1) not in wanted:
+                continue
+            if node.args or node.keywords or node.end_lineno is None:
+                continue
+            segment = ast.get_source_segment(ctx.source, node)
+            if segment is None:
+                continue
+            fixes.append(
+                PlannedFix(
+                    edit=TextEdit(
+                        start_line=node.lineno,
+                        start_col=node.col_offset,
+                        end_line=node.end_lineno,
+                        end_col=node.end_col_offset or 0,
+                        replacement=segment[:-1] + "0)",
+                    )
+                )
+            )
+        return fixes
+
+
+_FIXERS: tuple[Fixer, ...] = (TolerantComparisonFixer(), SeededRngFixer())
+
+
+def all_fixers() -> tuple[Fixer, ...]:
+    return _FIXERS
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _splice(source: str, edits: Iterable[TextEdit]) -> str:
+    """Apply non-overlapping edits bottom-up by absolute offset."""
+    offsets = _line_offsets(source)
+    resolved = []
+    for edit in edits:
+        start = offsets[edit.start_line - 1] + edit.start_col
+        end = offsets[edit.end_line - 1] + edit.end_col
+        resolved.append((start, end, edit.replacement))
+    resolved.sort(reverse=True)
+    last_start = len(source) + 1
+    for start, end, replacement in resolved:
+        if end > last_start:
+            raise LintError("overlapping fix edits; refusing to apply")
+        source = source[:start] + replacement + source[end:]
+        last_start = start
+    return source
+
+
+def _merge_imports(source: str, tree: ast.Module, names: set[str]) -> str:
+    """Ensure ``from repro.timeutils import <names>`` covers ``names``."""
+    existing: ast.ImportFrom | None = None
+    last_import_line = 0
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            last_import_line = max(last_import_line, stmt.end_lineno or 0)
+            if (
+                isinstance(stmt, ast.ImportFrom)
+                and stmt.module == "repro.timeutils"
+                and stmt.level == 0
+            ):
+                existing = stmt
+    lines = source.splitlines(keepends=True)
+    if existing is not None:
+        rendered = sorted(
+            {
+                alias.name
+                if alias.asname is None
+                else f"{alias.name} as {alias.asname}"
+                for alias in existing.names
+            }
+            | names
+        )
+        edit = TextEdit(
+            start_line=existing.lineno,
+            start_col=existing.col_offset,
+            end_line=existing.end_lineno or existing.lineno,
+            end_col=existing.end_col_offset or 0,
+            replacement=f"from repro.timeutils import {', '.join(rendered)}",
+        )
+        return _splice(source, [edit])
+    new_line = f"from repro.timeutils import {', '.join(sorted(names))}\n"
+    if last_import_line == 0:
+        # No imports at all: insert after a module docstring if present.
+        body = tree.body
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ):
+            last_import_line = body[0].end_lineno or 0
+    lines.insert(last_import_line, new_line)
+    return "".join(lines)
+
+
+@dataclasses.dataclass
+class FixOutcome:
+    """What ``apply_fixes`` did, plus the verified post-fix report."""
+
+    files_changed: list[str] = dataclasses.field(default_factory=list)
+    edits_applied: int = 0
+    #: Files whose rewritten source failed to re-parse (left untouched).
+    files_skipped: list[str] = dataclasses.field(default_factory=list)
+    #: Engine re-run over the same paths after writing the fixes.
+    report_after: LintReport | None = None
+
+
+def apply_fixes(
+    paths: Sequence[str | Path],
+    root: str | Path | None = None,
+    fixers: Sequence[Fixer] | None = None,
+) -> FixOutcome:
+    """Apply every *safe* fixer to the findings under ``paths``.
+
+    Unsafe fixers are filtered out unconditionally.  Files are rewritten
+    in place only when the result still parses; the engine is then
+    re-run over the same paths and the verified report returned.
+    """
+    selected = tuple(f for f in (fixers or all_fixers()) if f.safe)
+    base = Path(root) if root is not None else Path.cwd()
+    report = lint_paths(paths, root=base)
+    by_path: dict[str, list[Diagnostic]] = {}
+    for diag in report.diagnostics:
+        by_path.setdefault(diag.path, []).append(diag)
+    outcome = FixOutcome()
+    for display, diagnostics in sorted(by_path.items()):
+        path = base / display
+        if not path.exists():
+            continue
+        source = path.read_text(encoding="utf-8")
+        ctx, _ = _parse_module(path, base, source)
+        if ctx is None:
+            continue
+        fixes: list[PlannedFix] = []
+        for fixer in selected:
+            fixes.extend(fixer.plan(ctx, diagnostics))
+        if not fixes:
+            continue
+        fixed = _splice(source, [fix.edit for fix in fixes])
+        imports = set().union(*(fix.imports for fix in fixes))
+        try:
+            tree = ast.parse(fixed)
+            if imports:
+                fixed = _merge_imports(fixed, tree, imports)
+                ast.parse(fixed)
+        except SyntaxError:
+            outcome.files_skipped.append(display)
+            continue
+        path.write_text(fixed, encoding="utf-8")
+        outcome.files_changed.append(display)
+        outcome.edits_applied += len(fixes)
+    outcome.report_after = lint_paths(paths, root=base)
+    return outcome

@@ -1,0 +1,266 @@
+"""Project signature index: definition-site dimension seeds.
+
+The dataflow analyzer (:mod:`repro.lint.dataflow`) follows values through
+one function at a time, so it needs dimension facts at the boundaries —
+what a call returns, what an attribute holds, what a parameter expects.
+This module scans every linted module once and builds that lookup from
+three definition-site sources:
+
+* **annotations** — parameters, returns, and class fields annotated with
+  the dimension aliases from :mod:`repro.timeutils` (``Seconds``,
+  ``Joules``, ``Watts``, ``Scalar``);
+* **the naming vocabulary** — a parameter called ``deadline`` or a
+  dataclass field called ``harvest_power`` carries its conventional
+  dimension (:func:`repro.lint.naming.infer_dimension`);
+* **properties** — ``@property`` methods are indexed as attributes, so
+  ``storage.stored`` resolves through ``EnergyStorage.stored``.
+
+Because the linter has no type inference, lookups are *by name* and
+merged across the whole run: two definitions that disagree on a name's
+dimension poison that entry (it resolves to UNKNOWN), so the index never
+claims more than every definition in scope agrees on.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterable, Mapping
+
+from repro.lint.naming import Dimension, infer_dimension
+
+__all__ = [
+    "FunctionSig",
+    "ProjectIndex",
+    "annotation_dimension",
+    "build_index",
+]
+
+#: Annotation names that carry a dimension (``repro.timeutils`` aliases).
+_ANNOTATION_DIMS: Mapping[str, Dimension] = {
+    "Seconds": Dimension.TIME,
+    "Joules": Dimension.ENERGY,
+    "Watts": Dimension.POWER,
+    "Scalar": Dimension.DIMENSIONLESS,
+}
+
+
+def annotation_dimension(annotation: ast.expr | None) -> Dimension:
+    """Dimension named by an annotation expression, if any.
+
+    ``Seconds``, ``Optional[Seconds]``, ``Seconds | None`` and the dotted
+    forms (``timeutils.Seconds``) all resolve; an annotation naming two
+    *different* dimensions resolves to UNKNOWN.
+    """
+    if annotation is None:
+        return Dimension.UNKNOWN
+    found: set[Dimension] = set()
+    for node in ast.walk(annotation):
+        name: str | None = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotations ("Seconds") used under older tooling.
+            name = node.value
+        if name is not None and name in _ANNOTATION_DIMS:
+            found.add(_ANNOTATION_DIMS[name])
+    if len(found) == 1:
+        return found.pop()
+    return Dimension.UNKNOWN
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionSig:
+    """Dimension signature of one indexed function or method."""
+
+    name: str
+    #: ``(param name, dimension)`` in positional order, ``self``/``cls``
+    #: excluded.
+    params: tuple[tuple[str, Dimension], ...]
+    returns: Dimension
+
+    def param_dimension(self, position: int, keyword: str | None) -> Dimension:
+        """Dimension of the parameter an argument binds to.
+
+        ``position`` indexes positional arguments (``self`` already
+        excluded); ``keyword`` wins when given.  Unmatched arguments are
+        UNKNOWN (``*args``/``**kwargs`` catch-alls are not indexed).
+        """
+        if keyword is not None:
+            for name, dim in self.params:
+                if name == keyword:
+                    return dim
+            return Dimension.UNKNOWN
+        if 0 <= position < len(self.params):
+            return self.params[position][1]
+        return Dimension.UNKNOWN
+
+
+class ProjectIndex:
+    """Name → dimension lookup built from every linted module."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, FunctionSig | None] = {}
+        self._attributes: dict[str, Dimension | None] = {}
+
+    # -- queries ----------------------------------------------------------
+
+    def function(self, name: str) -> FunctionSig | None:
+        """Signature of an indexed function, or ``None`` (unknown or
+        contradictory across definitions)."""
+        return self._functions.get(name)
+
+    def attribute_dimension(self, name: str) -> Dimension:
+        """Dimension of an indexed attribute/field/property name."""
+        dim = self._attributes.get(name)
+        return Dimension.UNKNOWN if dim is None else dim
+
+    def return_dimension(self, name: str) -> Dimension:
+        sig = self.function(name)
+        return Dimension.UNKNOWN if sig is None else sig.returns
+
+    @property
+    def function_names(self) -> frozenset[str]:
+        return frozenset(
+            name for name, sig in self._functions.items() if sig is not None
+        )
+
+    # -- construction ------------------------------------------------------
+
+    def _merge_function(self, sig: FunctionSig) -> None:
+        existing = self._functions.get(sig.name, _UNSEEN)
+        if existing is _UNSEEN:
+            self._functions[sig.name] = sig
+        elif existing != sig:
+            # Same name, different dimension signature anywhere in the
+            # project: the by-name lookup cannot distinguish the call
+            # sites, so the entry is poisoned.
+            self._functions[sig.name] = None
+
+    def _merge_attribute(self, name: str, dim: Dimension) -> None:
+        if dim is Dimension.UNKNOWN:
+            return
+        existing = self._attributes.get(name, _UNSEEN)
+        if existing is _UNSEEN:
+            self._attributes[name] = dim
+        elif existing is not dim:
+            self._attributes[name] = None
+
+
+#: Sentinel distinguishing "never seen" from "seen and contradictory".
+_UNSEEN: object = object()
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _function_sig(node: ast.FunctionDef | ast.AsyncFunctionDef) -> FunctionSig:
+    params: list[tuple[str, Dimension]] = []
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    if positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    for arg in positional:
+        dim = annotation_dimension(arg.annotation)
+        if dim is Dimension.UNKNOWN:
+            dim = infer_dimension(arg.arg)
+        params.append((arg.arg, dim))
+    returns = annotation_dimension(node.returns)
+    if returns is Dimension.UNKNOWN:
+        returns = infer_dimension(node.name)
+    return FunctionSig(
+        name=node.name, params=tuple(params), returns=returns
+    )
+
+
+def _field_dimension(name: str, annotation: ast.expr | None) -> Dimension:
+    dim = annotation_dimension(annotation)
+    if dim is Dimension.UNKNOWN:
+        dim = infer_dimension(name)
+    return dim
+
+
+def _index_self_assigns(
+    index: ProjectIndex, method: ast.FunctionDef | ast.AsyncFunctionDef
+) -> None:
+    """Record ``self.<attr> = ...`` instance fields set inside a method.
+
+    The attribute's dimension comes from the annotation (``AnnAssign``),
+    from the assigned parameter's signature dimension (``self.x = x``),
+    or from the attribute's own name — first match wins.
+    """
+    param_dims = dict(_function_sig(method).params)
+    for node in ast.walk(method):
+        target: ast.expr | None = None
+        value_dim = Dimension.UNKNOWN
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Attribute
+        ):
+            target = node.target
+            value_dim = annotation_dimension(node.annotation)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 and (
+            isinstance(node.targets[0], ast.Attribute)
+        ):
+            target = node.targets[0]
+            if isinstance(node.value, ast.Name):
+                value_dim = param_dims.get(
+                    node.value.id, infer_dimension(node.value.id)
+                )
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            if value_dim is Dimension.UNKNOWN:
+                value_dim = infer_dimension(target.attr)
+            index._merge_attribute(target.attr, value_dim)
+
+
+def _index_class(index: ProjectIndex, cls: ast.ClassDef) -> None:
+    for item in cls.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            index._merge_attribute(
+                item.target.id,
+                _field_dimension(item.target.id, item.annotation),
+            )
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = _decorator_names(item)
+            if "property" in decorators or "cached_property" in decorators:
+                sig = _function_sig(item)
+                index._merge_attribute(item.name, sig.returns)
+            else:
+                index._merge_function(_function_sig(item))
+                _index_self_assigns(index, item)
+            _index_nested(index, item)
+        elif isinstance(item, ast.ClassDef):
+            _index_class(index, item)
+
+
+def _index_nested(
+    index: ProjectIndex, node: ast.FunctionDef | ast.AsyncFunctionDef
+) -> None:
+    for item in ast.walk(node):
+        if item is not node and isinstance(item, ast.ClassDef):
+            _index_class(index, item)
+
+
+def build_index(trees: Iterable[ast.Module]) -> ProjectIndex:
+    """Scan parsed modules and build the project-wide signature index."""
+    index = ProjectIndex()
+    for tree in trees:
+        for item in tree.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                index._merge_function(_function_sig(item))
+            elif isinstance(item, ast.ClassDef):
+                _index_class(index, item)
+    return index

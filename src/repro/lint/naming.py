@@ -56,6 +56,7 @@ _EXACT: dict[str, Dimension] = {
     "s1": Dimension.TIME,
     "s2": Dimension.TIME,
     "until": Dimension.TIME,
+    "window": Dimension.TIME,
     # energies
     "energy": Dimension.ENERGY,
     "stored": Dimension.ENERGY,
@@ -112,6 +113,17 @@ _SUFFIX: dict[str, Dimension] = {
 }
 
 
+#: Leading single-letter words from the paper's notation (``E_avail``
+#: from eq. (6), ``P_n`` from eqs. (5)/(9)).  Applied only when more
+#: words follow (``e_avail``, ``p_max``) and only when the suffix
+#: vocabulary is silent — ``e_rate`` is a power (a rate *of* energy),
+#: and the suffix already says so.
+_PREFIX: dict[str, Dimension] = {
+    "e": Dimension.ENERGY,
+    "p": Dimension.POWER,
+}
+
+
 def split_words(identifier: str) -> list[str]:
     """Split a ``snake_case`` identifier into lowercase words.
 
@@ -145,4 +157,7 @@ def infer_dimension(identifier: str) -> Dimension:
     if words[0] == "time" and len(words) > 1:
         # ``time_to_empty`` / ``time_cmp`` helpers, not quantities.
         return Dimension.UNKNOWN
-    return _SUFFIX.get(words[-1], Dimension.UNKNOWN)
+    dim = _SUFFIX.get(words[-1], Dimension.UNKNOWN)
+    if dim is Dimension.UNKNOWN and len(words) > 1 and words[0] in _PREFIX:
+        return _PREFIX[words[0]]
+    return dim

@@ -28,6 +28,7 @@ __all__ = [
     "QuantityLiteralComparisonRule",
     "QuantityPairComparisonRule",
     "compare_pairs",
+    "dimension_in",
     "expression_dimension",
     "has_int_literal",
     "has_tolerance_marker",
@@ -111,6 +112,21 @@ def expression_dimension(node: ast.expr) -> Dimension:
     return Dimension.UNKNOWN
 
 
+def dimension_in(ctx: ModuleContext, node: ast.expr) -> Dimension:
+    """Dimension of an expression, dataflow first, naming as fallback.
+
+    The abstract interpreter (:mod:`repro.lint.dataflow`) has followed
+    assignments, annotations, and the signature index, so its verdict
+    subsumes the syntactic one wherever it visited; expressions it never
+    reaches (lambda bodies, unparsed corners) fall back to the purely
+    name-based classification.
+    """
+    dim = ctx.dataflow.dimension_of(node)
+    if dim is None:
+        return expression_dimension(node)
+    return dim
+
+
 def is_float_literal(node: ast.expr) -> bool:
     if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
         node = node.operand
@@ -166,7 +182,7 @@ class QuantityLiteralComparisonRule(Rule):
                     expr = right
                 else:
                     continue
-                dim = expression_dimension(expr)
+                dim = dimension_in(ctx, expr)
                 if not dim.is_quantity:
                     continue
                 predicate = _PREDICATE_FOR_OP[type(op)]
@@ -198,8 +214,8 @@ class QuantityPairComparisonRule(Rule):
                     continue
                 if is_float_literal(left) or is_float_literal(right):
                     continue
-                left_dim = expression_dimension(left)
-                right_dim = expression_dimension(right)
+                left_dim = dimension_in(ctx, left)
+                right_dim = dimension_in(ctx, right)
                 if not (left_dim.is_quantity and left_dim is right_dim):
                     continue
                 predicate = _PREDICATE_FOR_OP[type(op)]

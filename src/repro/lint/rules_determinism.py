@@ -15,6 +15,10 @@ is pinned:
 ``time.perf_counter`` / ``time.monotonic`` are *not* flagged: they time
 the real execution (progress meters, harness timeouts) and never feed a
 simulated value.
+
+The whole family opts out of ``tests/`` (``run_on_tests = False``):
+fixtures legitimately draw ad-hoc randomness, and Hypothesis owns its
+own entropy.  The comparison/unit families still apply there.
 """
 
 from __future__ import annotations
@@ -54,6 +58,7 @@ def _dotted(node: ast.AST) -> str | None:
 class GlobalRandomRule(Rule):
     code = "RPR001"
     name = "no-global-random"
+    run_on_tests = False
     description = (
         "the stdlib `random` module draws from hidden global state; use "
         "np.random.default_rng(seed) so runs are reproducible"
@@ -87,6 +92,7 @@ class GlobalRandomRule(Rule):
 class WallClockRule(Rule):
     code = "RPR002"
     name = "no-wall-clock"
+    run_on_tests = False
     description = (
         "wall-clock reads (time.time, datetime.now, ...) make simulated "
         "results irreproducible; only simulated time may enter results"
@@ -115,14 +121,13 @@ class WallClockRule(Rule):
 class UnseededRngRule(Rule):
     code = "RPR003"
     name = "seeded-rng"
+    run_on_tests = False
     description = (
         "np.random.default_rng() without an explicit seed argument breaks "
-        "bit-reproducibility (allowed under tests/)"
+        "bit-reproducibility (the whole family is relaxed under tests/)"
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        if ctx.is_test_code:
-            return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -164,6 +169,7 @@ def _is_set_expr(node: ast.expr) -> bool:
 class SetIterationRule(Rule):
     code = "RPR004"
     name = "no-set-iteration-order"
+    run_on_tests = False
     description = (
         "iterating a set feeds hash order into downstream results; wrap "
         "in sorted(...) when the order can reach a simulated outcome"

@@ -1,4 +1,4 @@
-"""Quantity-unit rules (RPR201, RPR202).
+"""Quantity-unit rules (RPR201-RPR205).
 
 Equations (5)-(9) of the paper are unit conversions: energy divided by
 power yields time (``sr_n = E_avail / P_n``), power times time yields
@@ -6,11 +6,19 @@ energy.  Adding or comparing across those dimensions without a
 multiply/divide is always a bug — there is no unit in which
 ``energy + power`` means anything.
 
-The checker reuses the naming-convention dimension inference
-(:mod:`repro.lint.naming`): only expressions whose names positively mark
-them as time, energy, or power participate, so unannotated helper
-variables never false-positive.  Multiplication and division are
-deliberately transparent — they are exactly how units convert.
+Since PR 5 the checker is *flow-aware*: expression dimensions come from
+the abstract interpreter (:mod:`repro.lint.dataflow`), which follows
+values through assignments, annotations, and the project signature
+index, with the naming conventions (:mod:`repro.lint.naming`) as the
+seed vocabulary.  Multiplication and division stay transparent to the
+mixing rules — they are exactly how units convert — but the interpreter
+*uses* them to derive new dimensions (``E / P`` flows onward as a time).
+
+RPR201/202 flag unit mixing inside one expression.  RPR203-RPR205 flag
+the violations only dataflow can see: a reassignment that contradicts a
+name's seeded dimension, a ``return`` that contradicts the function's
+declared dimension, and an argument that contradicts the indexed
+parameter it binds to.
 """
 
 from __future__ import annotations
@@ -21,12 +29,18 @@ from typing import Iterator
 from repro.lint.engine import Diagnostic, ModuleContext, Rule, register_rule
 from repro.lint.rules_comparison import (
     compare_pairs,
+    dimension_in,
     is_float_literal,
-    expression_dimension,
     has_tolerance_marker,
 )
 
-__all__ = ["MixedUnitAdditionRule", "MixedUnitComparisonRule"]
+__all__ = [
+    "ArgumentDimensionRule",
+    "MixedUnitAdditionRule",
+    "MixedUnitComparisonRule",
+    "ReassignedDimensionRule",
+    "ReturnDimensionRule",
+]
 
 
 class MixedUnitAdditionRule(Rule):
@@ -39,18 +53,25 @@ class MixedUnitAdditionRule(Rule):
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.BinOp):
-                continue
-            if not isinstance(node.op, (ast.Add, ast.Sub)):
-                continue
-            left = expression_dimension(node.left)
-            right = expression_dimension(node.right)
-            if (
-                left.is_quantity
-                and right.is_quantity
-                and left is not right
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
             ):
-                verb = "add" if isinstance(node.op, ast.Add) else "subtract"
+                left = dimension_in(ctx, node.left)
+                right = dimension_in(ctx, node.right)
+                op = node.op
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                # The interpreter records the target's pre-assignment
+                # dimension, so `stored_energy += harvest_power` is the
+                # same mixing bug in augmented clothing.
+                left = dimension_in(ctx, node.target)
+                right = dimension_in(ctx, node.value)
+                op = node.op
+            else:
+                continue
+            if left.is_quantity and right.is_quantity and left is not right:
+                verb = "add" if isinstance(op, ast.Add) else "subtract"
                 yield ctx.diagnostic(
                     node,
                     self.code,
@@ -77,8 +98,8 @@ class MixedUnitComparisonRule(Rule):
             for left, op, right in compare_pairs(node):
                 if is_float_literal(left) or is_float_literal(right):
                     continue
-                left_dim = expression_dimension(left)
-                right_dim = expression_dimension(right)
+                left_dim = dimension_in(ctx, left)
+                right_dim = dimension_in(ctx, right)
                 if (
                     left_dim.is_quantity
                     and right_dim.is_quantity
@@ -93,5 +114,90 @@ class MixedUnitComparisonRule(Rule):
                     )
 
 
+def _event_diagnostic(
+    ctx: ModuleContext, code: str, line: int, col: int, message: str
+) -> Diagnostic:
+    return Diagnostic(
+        path=ctx.display_path,
+        line=line,
+        col=col + 1,
+        code=code,
+        message=message,
+    )
+
+
+class ReassignedDimensionRule(Rule):
+    code = "RPR203"
+    name = "no-dimension-contradicting-reassignment"
+    description = (
+        "assigning a value whose flow-derived dimension contradicts the "
+        "dimension the target's name/annotation promises"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for event in ctx.dataflow.events:
+            if event.kind != "reassign":
+                continue
+            yield _event_diagnostic(
+                ctx,
+                self.code,
+                event.line,
+                event.col,
+                f"`{event.name}` is {event.expected.value} by "
+                f"name/annotation but is assigned a value of dimension "
+                f"{event.actual.value}; rename the variable or fix the "
+                "conversion",
+            )
+
+
+class ReturnDimensionRule(Rule):
+    code = "RPR204"
+    name = "no-return-dimension-mismatch"
+    description = (
+        "returning a value whose flow-derived dimension contradicts the "
+        "function's declared (annotation/name) dimension"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for event in ctx.dataflow.events:
+            if event.kind != "return":
+                continue
+            yield _event_diagnostic(
+                ctx,
+                self.code,
+                event.line,
+                event.col,
+                f"function `{event.name}` declares a "
+                f"{event.expected.value} result but this return value is "
+                f"{event.actual.value}",
+            )
+
+
+class ArgumentDimensionRule(Rule):
+    code = "RPR205"
+    name = "no-wrong-dimension-argument"
+    description = (
+        "passing an argument whose flow-derived dimension contradicts "
+        "the indexed parameter of a project function"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for event in ctx.dataflow.events:
+            if event.kind != "argument":
+                continue
+            yield _event_diagnostic(
+                ctx,
+                self.code,
+                event.line,
+                event.col,
+                f"argument to `{event.name}` is {event.actual.value} but "
+                f"the parameter expects {event.expected.value} (per the "
+                "project signature index)",
+            )
+
+
 register_rule(MixedUnitAdditionRule())
 register_rule(MixedUnitComparisonRule())
+register_rule(ReassignedDimensionRule())
+register_rule(ReturnDimensionRule())
+register_rule(ArgumentDimensionRule())

@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 rendering of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code-review UIs ingest to annotate findings inline on a diff.
+:func:`to_sarif` maps a :class:`~repro.lint.engine.LintReport` onto the
+minimal valid subset: one ``run`` whose tool driver carries the full
+rule metadata (so viewers can show rule names and help text without the
+repo checked out) and one ``result`` per diagnostic with a physical
+location.  ``tests/lint/test_sarif.py`` validates the output against the
+published 2.1.0 JSON schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lint.engine import (
+    ENGINE_VERSION,
+    SYNTAX_ERROR_CODE,
+    UNKNOWN_SUPPRESSION_CODE,
+    LintReport,
+    all_rules,
+)
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Engine-level pseudo-rules that have no Rule instance in the registry.
+_ENGINE_RULES = {
+    SYNTAX_ERROR_CODE: (
+        "syntax-error",
+        "the file failed to parse; nothing else was checked",
+    ),
+    UNKNOWN_SUPPRESSION_CODE: (
+        "unknown-suppression",
+        "a repro-lint suppression comment names an unknown rule code",
+    ),
+}
+
+
+def _rule_metadata() -> list[dict[str, Any]]:
+    rules: list[dict[str, Any]] = []
+    for rule in all_rules():
+        rules.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    for code, (name, description) in sorted(_ENGINE_RULES.items()):
+        rules.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return rules
+
+
+def to_sarif(report: LintReport) -> dict[str, Any]:
+    """Render a report as a SARIF 2.1.0 log (a JSON-serializable dict)."""
+    rules = _rule_metadata()
+    index_of = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: list[dict[str, Any]] = []
+    for diag in report.diagnostics:
+        result: dict[str, Any] = {
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.path},
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.code in index_of:
+            result["ruleIndex"] = index_of[diag.code]
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA_URI,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": ENGINE_VERSION,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

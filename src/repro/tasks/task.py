@@ -15,10 +15,13 @@ from __future__ import annotations
 import abc
 import itertools
 import math
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 from repro.tasks.job import Job
 from repro.timeutils import EPSILON, validate_interval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["Task", "PeriodicTask", "AperiodicTask", "TaskSet"]
 
@@ -91,7 +94,9 @@ class Task(abc.ABC):
     def release_times(self, horizon: float) -> Iterator[float]:
         """Release instants in ``[0, horizon)``, in increasing order."""
 
-    def jobs(self, horizon: float, rng=None) -> Iterator[Job]:
+    def jobs(
+        self, horizon: float, rng: "np.random.Generator | None" = None
+    ) -> Iterator[Job]:
         """Stamp out the jobs released in ``[0, horizon)``.
 
         With ``bcet_ratio < 1`` a ``numpy`` generator must be supplied to
@@ -276,7 +281,9 @@ class TaskSet:
             result = math.lcm(result, period)
         return float(result)
 
-    def jobs(self, horizon: float, rng=None) -> list[Job]:
+    def jobs(
+        self, horizon: float, rng: "np.random.Generator | None" = None
+    ) -> list[Job]:
         """All jobs of all tasks released in ``[0, horizon)``, sorted.
 
         Sorted by (release, absolute deadline, task name) — a deterministic

@@ -15,6 +15,18 @@ range where float64 absolute error approaches 1e-9.
 from __future__ import annotations
 
 import math
+from typing import TypeAlias
+
+#: Dimension-documenting aliases for plain ``float`` quantities.  They
+#: change nothing at runtime or for mypy, but the static analyzer
+#: (``repro.lint.dataflow``) reads them: annotating a parameter or return
+#: value as ``Seconds``/``Joules``/``Watts``/``Scalar`` seeds its
+#: dimension even when the identifier itself is outside the naming
+#: vocabulary.
+Seconds: TypeAlias = float
+Joules: TypeAlias = float
+Watts: TypeAlias = float
+Scalar: TypeAlias = float
 
 #: Absolute tolerance used for all simulated-time and energy comparisons.
 EPSILON: float = 1e-9

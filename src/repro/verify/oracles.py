@@ -36,7 +36,7 @@ from repro.sched.base import Decision, EnergyOutlook, Scheduler
 from repro.sim.simulator import DeadlineMissPolicy, SimulationResult
 from repro.tasks.job import Job
 from repro.tasks.queue import EdfReadyQueue
-from repro.timeutils import EPSILON, INFINITY
+from repro.timeutils import EPSILON, INFINITY, time_gt, time_le, time_lt
 
 __all__ = [
     "OraclePlan",
@@ -142,7 +142,7 @@ def expected_ea_dvfs_decision(
     # Case (b): idle until s1, stretch over [s1, s2), full speed after.
     if plan.s1 > now + EPSILON:
         return Decision.idle(reconsider_at=plan.s1)
-    if plan.s2 <= now + 1e-6:
+    if time_le(plan.s2, now, eps=1e-6):
         # Degenerate-switch skip mirrored from the production rule.
         return Decision.run(job, scale.max_level)
     return Decision.run(
@@ -365,19 +365,19 @@ def check_causality(
                 problems.append(
                     f"{job.name}: completed without ever starting"
                 )
-            elif job.completion_time < job.first_start_time - 1e-9:
+            elif time_lt(job.completion_time, job.first_start_time):
                 problems.append(
                     f"{job.name}: completed at {job.completion_time!r} "
                     f"before first start {job.first_start_time!r}"
                 )
-            if job.completion_time > result.horizon + 1e-9:
+            if time_gt(job.completion_time, result.horizon):
                 problems.append(
                     f"{job.name}: completed at {job.completion_time!r} "
                     f"past the horizon {result.horizon!r}"
                 )
             if (
                 miss_policy is DeadlineMissPolicy.DROP
-                and job.completion_time > job.absolute_deadline + 1e-6
+                and time_gt(job.completion_time, job.absolute_deadline, eps=1e-6)
             ):
                 problems.append(
                     f"{job.name}: completed at {job.completion_time!r} "
@@ -440,7 +440,7 @@ def check_accounting(
             f"busy {busy!r} + idle {result.idle_time!r} does not sum to "
             f"the horizon {result.horizon!r}"
         )
-    if result.stall_time > result.idle_time + 1e-6:
+    if time_gt(result.stall_time, result.idle_time, eps=1e-6):
         problems.append(
             f"stall time {result.stall_time!r} exceeds idle time "
             f"{result.idle_time!r}"

@@ -71,7 +71,8 @@ class TestMeanPowerPredictor:
     @settings(max_examples=25, deadline=None)
     def test_prediction_nonnegative(self, power):
         predictor = MeanPowerPredictor()
-        predictor.observe(0.0, 1.0, power)
+        duration = 1.0
+        predictor.observe(0.0, duration, power * duration)
         assert predictor.predict_energy(1.0, 11.0) >= 0.0
 
 

@@ -1,0 +1,127 @@
+"""Baseline/ratchet semantics: fail on regressions, never on progress."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, LintError
+from repro.lint.engine import ENGINE_VERSION, Diagnostic, LintReport
+
+
+def _diag(path="src/repro/a.py", line=10, code="RPR101", message="m"):
+    return Diagnostic(path=path, line=line, col=1, code=code, message=message)
+
+
+def _report(diags, suppressions=0):
+    return LintReport(
+        diagnostics=list(diags),
+        files_checked=1,
+        suppression_count=suppressions,
+    )
+
+
+class TestComparison:
+    def test_identical_report_is_clean(self):
+        report = _report([_diag()], suppressions=2)
+        comparison = Baseline.from_report(report).compare(report)
+        assert comparison.ok
+        assert comparison.new == ()
+        assert comparison.fixed_count == 0
+
+    def test_new_finding_fails(self):
+        baseline = Baseline.from_report(_report([_diag()]))
+        fresh = _report([_diag(), _diag(code="RPR102")])
+        comparison = baseline.compare(fresh)
+        assert not comparison.ok
+        assert [d.code for d in comparison.new] == ["RPR102"]
+
+    def test_line_drift_does_not_fail(self):
+        # Fingerprints exclude the line: an unrelated edit that shifts a
+        # finding down the file is not a regression.
+        baseline = Baseline.from_report(_report([_diag(line=10)]))
+        assert baseline.compare(_report([_diag(line=99)])).ok
+
+    def test_second_identical_finding_is_new(self):
+        # ... but the fingerprints form a multiset: a *second* identical
+        # comparison in the same file is a new finding.
+        baseline = Baseline.from_report(_report([_diag(line=10)]))
+        fresh = _report([_diag(line=10), _diag(line=11)])
+        comparison = baseline.compare(fresh)
+        assert not comparison.ok
+        assert len(comparison.new) == 1
+
+    def test_fixed_findings_are_progress_not_failure(self):
+        baseline = Baseline.from_report(
+            _report([_diag(), _diag(code="RPR102")])
+        )
+        comparison = baseline.compare(_report([_diag()]))
+        assert comparison.ok
+        assert comparison.fixed_count == 1
+        assert "no longer occur" in comparison.format_text()
+
+    def test_suppression_growth_fails(self):
+        baseline = Baseline.from_report(_report([], suppressions=3))
+        comparison = baseline.compare(_report([], suppressions=4))
+        assert not comparison.ok
+        assert "suppression count grew" in comparison.format_text()
+
+    def test_suppression_decrease_is_fine(self):
+        baseline = Baseline.from_report(_report([], suppressions=3))
+        assert baseline.compare(_report([], suppressions=1)).ok
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_report(
+            _report([_diag(), _diag()], suppressions=5)
+        )
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        assert Baseline.load(path) == baseline
+
+    def test_counts_survive_serialization(self, tmp_path):
+        baseline = Baseline.from_report(_report([_diag(), _diag()]))
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        comparison = loaded.compare(_report([_diag(), _diag()]))
+        assert comparison.ok
+
+    def test_malformed_json_raises_lint_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_unknown_format_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"baseline_format": 99}))
+        with pytest.raises(LintError, match="baseline format"):
+            Baseline.load(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(LintError, match="cannot read"):
+            Baseline.load(tmp_path / "nope.json")
+
+
+class TestCompatibility:
+    def test_stale_engine_version_raises(self):
+        baseline = Baseline.from_report(_report([]))
+        stale = Baseline(
+            engine_version="0.0.1",
+            ruleset=baseline.ruleset,
+            counts={},
+            suppression_count=0,
+        )
+        with pytest.raises(LintError, match="regenerate"):
+            stale.compare(_report([]))
+
+    def test_foreign_ruleset_raises(self):
+        stale = Baseline(
+            engine_version=ENGINE_VERSION,
+            ruleset=("RPR001",),
+            counts={},
+            suppression_count=0,
+        )
+        with pytest.raises(LintError, match="rule set"):
+            stale.compare(_report([]))

@@ -1,0 +1,275 @@
+"""Abstract-interpretation tests: dimensions must *flow*.
+
+Name-based inference alone cannot see that ``budget = e_avail`` makes
+``budget`` an energy, or that ``budget / p_max`` is therefore a time —
+eq. (5)'s ``sr_n = E_avail / P_n`` in disguise.  These tests pin the
+lattice algebra, the three seeding sources (vocabulary, annotations,
+signature index), and the flow-only rule codes RPR203-RPR205.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.dataflow import (
+    analyze_module,
+    combine_add,
+    combine_div,
+    combine_mult,
+    join,
+)
+from repro.lint.index import build_index
+from repro.lint.naming import Dimension
+
+TIME = Dimension.TIME
+ENERGY = Dimension.ENERGY
+POWER = Dimension.POWER
+SCALAR = Dimension.DIMENSIONLESS
+UNKNOWN = Dimension.UNKNOWN
+
+
+def flow(snippet: str):
+    tree = ast.parse(textwrap.dedent(snippet))
+    return analyze_module(tree, build_index([tree])), tree
+
+
+def dim_of_name(df, tree, name: str, last: bool = True):
+    hits = [
+        df.dimension_of(node)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Name) and node.id == name
+        and df.dimension_of(node) is not None
+    ]
+    assert hits, f"no visited occurrence of {name!r}"
+    return hits[-1] if last else hits[0]
+
+
+class TestLattice:
+    def test_join(self):
+        assert join(TIME, TIME) is TIME
+        assert join(TIME, ENERGY) is UNKNOWN
+        assert join(TIME, UNKNOWN) is UNKNOWN
+
+    def test_unit_conversion_algebra(self):
+        # The paper's conversions: eqs. (5)-(9).
+        assert combine_mult(TIME, POWER) is ENERGY
+        assert combine_mult(POWER, TIME) is ENERGY
+        assert combine_div(ENERGY, POWER) is TIME
+        assert combine_div(ENERGY, TIME) is POWER
+        assert combine_div(TIME, TIME) is SCALAR
+
+    def test_scalars_are_transparent(self):
+        assert combine_mult(TIME, SCALAR) is TIME
+        assert combine_div(ENERGY, SCALAR) is ENERGY
+        assert combine_add(TIME, SCALAR) is TIME
+
+    def test_additive_mixing_has_no_dimension(self):
+        assert combine_add(TIME, ENERGY) is UNKNOWN
+        assert combine_add(TIME, TIME) is TIME
+
+
+class TestPropagation:
+    def test_assignment_renames_carry_dimension(self):
+        # The acceptance fixture: name-only inference calls `budget`
+        # UNKNOWN; dataflow must derive ENERGY then TIME.
+        df, tree = flow(
+            """
+            def f(e_avail, p_max):
+                budget = e_avail
+                slack = budget / p_max
+                return slack
+            """
+        )
+        assert dim_of_name(df, tree, "budget") is ENERGY
+        assert dim_of_name(df, tree, "slack") is TIME
+
+    def test_tuple_unpacking(self):
+        df, tree = flow(
+            """
+            def f(deadline, energy):
+                a, b = deadline, energy
+                return a, b
+            """
+        )
+        assert dim_of_name(df, tree, "a") is TIME
+        assert dim_of_name(df, tree, "b") is ENERGY
+
+    def test_conditional_join_agreeing_branches(self):
+        df, tree = flow(
+            """
+            def f(flag, deadline, period):
+                if flag:
+                    x = deadline
+                else:
+                    x = period
+                return x
+            """
+        )
+        assert dim_of_name(df, tree, "x") is TIME
+
+    def test_conditional_join_disagreeing_branches(self):
+        df, tree = flow(
+            """
+            def f(flag, deadline, energy):
+                if flag:
+                    x = deadline
+                else:
+                    x = energy
+                return x
+            """
+        )
+        assert dim_of_name(df, tree, "x") is UNKNOWN
+
+    def test_literal_scaling_keeps_dimension(self):
+        df, tree = flow(
+            """
+            def f(deadline):
+                margin = deadline * 2.0
+                return margin
+            """
+        )
+        assert dim_of_name(df, tree, "margin") is TIME
+
+    def test_annotation_seeds_dimension(self):
+        df, tree = flow(
+            """
+            from repro.timeutils import Joules, Watts
+
+            def f(budget: Joules, drain: Watts):
+                left = budget / drain
+                return left
+            """
+        )
+        assert dim_of_name(df, tree, "left") is TIME
+
+    def test_comprehension_sum_keeps_element_dimension(self):
+        df, tree = flow(
+            """
+            def f(jobs):
+                total = sum(j.wcet for j in jobs)
+                load = total
+                return load
+            """
+        )
+        assert dim_of_name(df, tree, "load") is TIME
+
+
+class TestFlowAwareRules:
+    def test_acceptance_fixture_flags_derived_dimension(self, codes_in):
+        # `budget / p_max` is a *time* (eq. (5)); comparing it against an
+        # energy must flag even though neither name says "time".
+        assert codes_in(
+            """
+            def f(e_avail, p_max):
+                budget = e_avail
+                if budget / p_max > e_avail:
+                    return budget
+                return p_max
+            """
+        ) == ["RPR202"]
+
+    def test_name_only_inference_misses_the_fixture(self):
+        from repro.lint.rules_comparison import expression_dimension
+
+        node = ast.parse("budget / p_max", mode="eval").body
+        assert expression_dimension(node) is UNKNOWN
+
+    def test_reassignment_contradiction_rpr203(self, codes_in):
+        assert codes_in(
+            """
+            def f(e_avail):
+                deadline = e_avail
+                return deadline
+            """
+        ) == ["RPR203"]
+
+    def test_return_contradiction_rpr204(self, codes_in):
+        assert codes_in(
+            """
+            from repro.timeutils import Joules, Seconds
+
+            def remaining_time(budget: Joules) -> Seconds:
+                return budget
+            """
+        ) == ["RPR204"]
+
+    def test_wrong_argument_rpr205(self, codes_in):
+        assert codes_in(
+            """
+            def charge(amount_energy):
+                return amount_energy
+
+            def caller(harvest_power):
+                return charge(harvest_power)
+            """
+        ) == ["RPR205"]
+
+    def test_attribute_dimension_through_index(self, codes_in):
+        assert codes_in(
+            """
+            class Job:
+                def __init__(self, deadline: float) -> None:
+                    self.deadline = deadline
+
+            def f(job, e_avail):
+                return job.deadline < e_avail
+            """
+        ) == ["RPR202"]
+
+    def test_augmented_mixing_rpr201(self, codes_in):
+        assert codes_in(
+            """
+            def f(stored_energy, harvest_power):
+                stored_energy += harvest_power
+                return stored_energy
+            """
+        ) == ["RPR201"]
+
+    def test_conversion_is_never_flagged(self, codes_in):
+        # Legitimate eq. (5) arithmetic must stay silent.
+        assert codes_in(
+            """
+            def f(e_avail, p_max, deadline, now):
+                sr_n = e_avail / p_max
+                s1 = max(now, deadline - sr_n)
+                return s1
+            """
+        ) == []
+
+    def test_loop_body_is_visited(self, codes_in):
+        assert codes_in(
+            """
+            def f(jobs, e_avail):
+                for job in jobs:
+                    budget = e_avail
+                    if budget > job.deadline:
+                        return job
+                return None
+            """
+        ) == ["RPR202"]
+
+
+class TestSignatureIndexPoisoning:
+    def test_conflicting_defs_poison_the_name(self):
+        tree_a = ast.parse("def f(deadline):\n    return deadline\n")
+        tree_b = ast.parse("def f(energy):\n    return energy\n")
+        index = build_index([tree_a, tree_b])
+        assert index.function("f") is None
+
+    def test_conflicting_attributes_poison(self):
+        src_a = """
+        class A:
+            def __init__(self, deadline: float) -> None:
+                self.x = deadline
+        """
+        src_b = """
+        class B:
+            def __init__(self, energy: float) -> None:
+                self.x = energy
+        """
+        tree_a = ast.parse(textwrap.dedent(src_a))
+        tree_b = ast.parse(textwrap.dedent(src_b))
+        assert build_index([tree_a]).attribute_dimension("x") is TIME
+        # Two definitions disagree -> the entry is poisoned to UNKNOWN.
+        assert (
+            build_index([tree_a, tree_b]).attribute_dimension("x") is UNKNOWN
+        )

@@ -1,0 +1,96 @@
+"""Vocabulary edge cases for :mod:`repro.lint.naming`.
+
+The dataflow analyzer seeds every environment from these two functions,
+so their behaviour on odd identifiers (ALLCAPS constants, digit-adjacent
+segments, dunders) is part of the analyzer's contract — and
+``infer_dimension`` must be total: any string in, a Dimension out.
+"""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint.naming import Dimension, infer_dimension, split_words
+
+
+class TestSplitWords:
+    def test_snake_case(self):
+        assert split_words("harvest_power") == ["harvest", "power"]
+
+    def test_allcaps_constant(self):
+        assert split_words("EPSILON") == ["epsilon"]
+        assert split_words("MAX_HORIZON") == ["max", "horizon"]
+
+    def test_digit_adjacent_segments(self):
+        assert split_words("t0_energy") == ["t0", "energy"]
+        assert split_words("sr_max") == ["sr", "max"]
+        assert split_words("s1") == ["s1"]
+
+    def test_dunders_and_private_names(self):
+        assert split_words("__init__") == ["init"]
+        assert split_words("_stored") == ["stored"]
+        assert split_words("__") == []
+
+    def test_doubled_underscores_drop_empty_segments(self):
+        assert split_words("a__b") == ["a", "b"]
+
+    def test_empty_string(self):
+        assert split_words("") == []
+
+
+class TestInferDimension:
+    def test_exact_vocabulary(self):
+        assert infer_dimension("deadline") is Dimension.TIME
+        assert infer_dimension("wcet") is Dimension.TIME
+        assert infer_dimension("stored") is Dimension.ENERGY
+        assert infer_dimension("speed") is Dimension.DIMENSIONLESS
+
+    def test_suffix_vocabulary(self):
+        assert infer_dimension("harvest_power") is Dimension.POWER
+        assert infer_dimension("t0_energy") is Dimension.ENERGY
+        assert infer_dimension("switch_to_max_at") is Dimension.TIME
+
+    def test_allcaps_resolve_like_lowercase(self):
+        assert infer_dimension("MAX_DEADLINE") is Dimension.TIME
+        assert infer_dimension("IDLE_POWER") is Dimension.POWER
+
+    def test_paper_notation_prefixes(self):
+        # E_avail / P_n from eqs. (5)-(6); suffix wins when both match.
+        assert infer_dimension("e_avail") is Dimension.ENERGY
+        assert infer_dimension("p_max") is Dimension.POWER
+        assert infer_dimension("e_rate") is Dimension.POWER
+
+    def test_bare_prefix_letter_is_not_classified(self):
+        assert infer_dimension("e") is Dimension.UNKNOWN
+        assert infer_dimension("p") is Dimension.UNKNOWN
+
+    def test_predicate_and_helper_names_are_unknown(self):
+        assert infer_dimension("is_empty") is Dimension.UNKNOWN
+        assert infer_dimension("time_to_empty") is Dimension.UNKNOWN
+        assert infer_dimension("has_spikes") is Dimension.UNKNOWN
+        assert infer_dimension("total_drawn") is Dimension.UNKNOWN
+
+    def test_count_fraction_exceptions(self):
+        assert infer_dimension("miss_rate") is Dimension.DIMENSIONLESS
+        assert infer_dimension("fade_rate") is Dimension.POWER
+
+    def test_degenerate_identifiers(self):
+        assert infer_dimension("") is Dimension.UNKNOWN
+        assert infer_dimension("_") is Dimension.UNKNOWN
+        assert infer_dimension("__init__") is Dimension.UNKNOWN
+
+    @given(
+        st.text(
+            alphabet=string.ascii_letters + string.digits + "_",
+            max_size=40,
+        )
+    )
+    def test_never_raises_on_identifier_like_text(self, identifier):
+        assert infer_dimension(identifier) in Dimension
+
+    @given(st.text(max_size=40))
+    def test_never_raises_on_arbitrary_text(self, text):
+        # Attribute names reach the vocabulary unfiltered; totality is
+        # part of the contract.
+        assert infer_dimension(text) in Dimension

@@ -1,0 +1,207 @@
+"""SARIF output validation.
+
+The full SARIF 2.1.0 JSON schema is ~7k lines and can't be fetched in a
+hermetic test run, so a vendored *subset* is used: it keeps, verbatim,
+the structural constraints for everything :func:`repro.lint.to_sarif`
+emits (log shell, tool driver + rule metadata, results with physical
+locations) and sets ``additionalProperties`` loose, exactly as the real
+schema does for result/run objects.  Structural drift — wrong nesting, a
+missing required key, a 0-based column — fails here.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import ENGINE_VERSION, to_sarif
+from repro.lint.engine import Diagnostic, LintReport
+
+jsonschema = pytest.importorskip("jsonschema")
+
+#: Trimmed SARIF 2.1.0 schema (see module docstring).
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": -1,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _report():
+    return LintReport(
+        diagnostics=[
+            Diagnostic(
+                path="src/repro/core/ea_dvfs.py",
+                line=12,
+                col=5,
+                code="RPR102",
+                message="raw time-to-time comparison",
+            ),
+            Diagnostic(
+                path="src/repro/broken.py",
+                line=1,
+                col=1,
+                code="RPR901",
+                message="syntax error: invalid syntax",
+            ),
+        ],
+        files_checked=2,
+    )
+
+
+class TestSarif:
+    def test_validates_against_schema(self):
+        jsonschema.validate(to_sarif(_report()), SARIF_SUBSET_SCHEMA)
+
+    def test_empty_report_validates(self):
+        jsonschema.validate(
+            to_sarif(LintReport(files_checked=3)), SARIF_SUBSET_SCHEMA
+        )
+
+    def test_is_json_serializable(self):
+        text = json.dumps(to_sarif(_report()))
+        assert json.loads(text)["version"] == "2.1.0"
+
+    def test_driver_identity(self):
+        driver = to_sarif(_report())["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert driver["version"] == ENGINE_VERSION
+
+    def test_rule_metadata_covers_all_result_rule_ids(self):
+        sarif = to_sarif(_report())
+        run = sarif["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert len(rule_ids) == len(set(rule_ids))
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_result_location_matches_diagnostic(self):
+        sarif = to_sarif(_report())
+        location = sarif["runs"][0]["results"][0]["locations"][0]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == (
+            "src/repro/core/ea_dvfs.py"
+        )
+        assert physical["region"] == {"startLine": 12, "startColumn": 5}
+
+    def test_engine_pseudo_rules_have_metadata(self):
+        rules = to_sarif(_report())["runs"][0]["tool"]["driver"]["rules"]
+        ids = {rule["id"] for rule in rules}
+        assert {"RPR901", "RPR902"} <= ids

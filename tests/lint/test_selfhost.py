@@ -1,14 +1,19 @@
-"""The linter is self-hosted: the shipped tree must be clean.
+"""The linter is self-hosted: the shipped tree must stay clean.
 
-This is the committed zero-findings baseline the CI lint job enforces.
-If a change trips it, either fix the violation or add an inline
-``# repro-lint: disable=RPRxxx -- why`` with a justification (see
+``src/`` and ``benchmarks/`` carry zero findings outright.  ``tests/``
+is linted under the relaxed profile and its accepted findings (exact
+pytest assertions, mostly RPR101/RPR102) are pinned in the committed
+``lint-baseline.json`` — the full default tree must be baseline-clean,
+so a change may not introduce new findings anywhere nor grow the
+suppression count.  If a change trips this, either fix the violation or
+add an inline suppression (``disable=<code> -- why``) with a
+justification and regenerate the baseline (see
 ``docs/static-analysis.md``).
 """
 
 from pathlib import Path
 
-from repro.lint import lint_paths
+from repro.lint import Baseline, lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -26,3 +31,21 @@ class TestSelfHost:
             [REPO_ROOT / "src" / "repro" / "lint"], root=REPO_ROOT
         )
         assert report.ok, "\n" + report.format_text()
+
+    def test_default_tree_is_baseline_clean(self):
+        """The CI gate: no new findings vs the committed baseline."""
+        report = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "tests"],
+            root=REPO_ROOT,
+        )
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        comparison = baseline.compare(report)
+        assert comparison.ok, "\n" + comparison.format_text()
+
+    def test_baselined_findings_are_only_comparison_codes(self):
+        """The baseline may pin relaxed-profile comparison findings in
+        tests/, never a determinism/unit/contract violation."""
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        for path, code, _message in baseline.counts:
+            assert path.startswith("tests/"), (path, code)
+            assert code in ("RPR101", "RPR102"), (path, code)

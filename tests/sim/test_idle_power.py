@@ -37,9 +37,10 @@ def run_idle(idle_power, source, capacity=100.0, initial=None, horizon=50.0,
 class TestIdlePower:
     def test_idle_draw_depletes_storage(self):
         """No harvest: idle power drains exactly idle * idle_time."""
-        result = run_idle(0.1, ConstantSource(0.0), capacity=100.0)
+        idle_power = 0.1
+        result = run_idle(idle_power, ConstantSource(0.0), capacity=100.0)
         busy_energy = 1.0 * 3.2  # one 1-unit job at P_max
-        idle_energy = 0.1 * result.idle_time
+        idle_energy = idle_power * result.idle_time
         assert result.drawn_energy == pytest.approx(
             busy_energy + idle_energy
         )

@@ -114,8 +114,11 @@ class TestLintCommand:
 
     def test_defaults(self):
         args = build_parser().parse_args(["lint"])
-        assert args.paths == ["src", "benchmarks"]
+        assert args.paths == ["src", "benchmarks", "tests"]
         assert args.output_format == "text"
+        assert args.baseline is None
+        assert not args.update_baseline
+        assert not args.fix
 
     def test_clean_tree_exits_zero(self, capsys, tmp_path):
         clean = tmp_path / "clean.py"

@@ -66,7 +66,7 @@ class TestRecomputePlan:
         assert oracle.s1 <= oracle.s2
 
 
-class _SabotagedScheduler(EaDvfsScheduler):
+class _SabotagedScheduler(EaDvfsScheduler):  # repro-lint: disable=RPR301 -- deliberately malformed test double
     """EA-DVFS that ignores the slow-down plan — the oracle must notice."""
 
     def decide(self, now, ready, outlook):
