@@ -1,0 +1,109 @@
+"""Journal overhead — what durability costs a sweep.
+
+Two numbers matter for the crash-consistent runtime (see
+``docs/runtime.md``):
+
+* **append cost** — each finished cell pays one framed write + flush +
+  ``fsync``.  This must stay far below the cost of simulating a cell
+  (seconds), or checkpointing would not be free in practice.
+* **resume scan** — reopening a populated journal replays every frame
+  (length + CRC check + JSON decode).  This bounds the startup tax of
+  a resumed sweep.
+
+The measured baseline is recorded in
+``benchmarks/results/journal_overhead.json`` next to the rendered
+table, so regressions in the journal's write path show up in review.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.runtime.journal import JournalKey, ResultJournal
+from repro.serialization import atomic_write_text
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Appends per measurement: large enough to average out fsync noise,
+#: small enough to keep the bench under a couple of seconds on any disk.
+N_RECORDS = 400
+
+
+def _payload(i: int) -> dict:
+    """A representative slim-result payload (same shape, same order of
+    magnitude as a real journaled cell)."""
+    return {
+        "scheduler_name": "ea-dvfs",
+        "horizon": 10_000.0,
+        "released_count": 2000 + i,
+        "completed_count": 1990,
+        "missed_count": 10,
+        "judged_count": 2000,
+        "harvested_energy": 123456.789 + i,
+        "drawn_energy": 98765.4321,
+        "overflow_energy": 12.5,
+        "leaked_energy": 0.0,
+        "final_stored": 42.0,
+        "storage_capacity": 200.0,
+        "busy_time_profile": {"0.15": 100.0, "0.4": 2000.0, "1.0": 5000.0},
+        "idle_time": 2900.0,
+        "switch_count": 1234,
+        "stall_count": 56,
+        "stall_time": 78.9,
+        "per_task_released": {f"t{k}": 400 for k in range(5)},
+        "per_task_missed": {"t0": 10},
+    }
+
+
+def _key(i: int) -> JournalKey:
+    return JournalKey(spec_hash=f"{i:064x}", scheduler_name="ea-dvfs")
+
+
+def test_journal_overhead(tmp_path, report):
+    path = tmp_path / "bench.journal"
+
+    # -- append path: write + flush + fsync per record -------------------
+    journal = ResultJournal(path)
+    started = time.perf_counter()
+    for i in range(N_RECORDS):
+        journal.append(_key(i), "result", _payload(i))
+    append_elapsed = time.perf_counter() - started
+    journal.close()
+    size = path.stat().st_size
+
+    # -- resume path: full frame scan + CRC + JSON decode ----------------
+    started = time.perf_counter()
+    resumed = ResultJournal(path, create=False)
+    scan_elapsed = time.perf_counter() - started
+    assert len(resumed) == N_RECORDS
+    assert resumed.info().torn_bytes_discarded == 0
+    resumed.close()
+
+    append_us = append_elapsed / N_RECORDS * 1e6
+    scan_us = scan_elapsed / N_RECORDS * 1e6
+    baseline = {
+        "records": N_RECORDS,
+        "journal_bytes": size,
+        "bytes_per_record": round(size / N_RECORDS, 1),
+        "append_total_s": round(append_elapsed, 4),
+        "append_per_record_us": round(append_us, 1),
+        "resume_scan_total_s": round(scan_elapsed, 4),
+        "resume_scan_per_record_us": round(scan_us, 1),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    atomic_write_text(
+        RESULTS_DIR / "journal_overhead.json",
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+    )
+
+    lines = ["journal overhead baseline "
+             f"({N_RECORDS} records, {size} bytes)"]
+    for name, value in sorted(baseline.items()):
+        lines.append(f"  {name:26} {value}")
+    report("journal_overhead", "\n".join(lines))
+
+    # Durability must stay cheap relative to a simulation cell (seconds):
+    # allow generous slack for slow CI disks, catch order-of-magnitude
+    # regressions (e.g. an accidental rewrite-the-file-per-append).
+    assert append_us < 50_000, f"append cost exploded: {append_us:.0f}us"
+    assert scan_us < 5_000, f"resume scan exploded: {scan_us:.0f}us"

@@ -36,6 +36,12 @@ class CapacitySearchResult:
     last_missing_capacity: float
     #: Miss rate observed at ``last_missing_capacity``.
     last_missing_rate: float
+    #: Every ``(capacity, miss_rate)`` probe, in evaluation order.  The
+    #: sequence is a pure function of the search parameters and the
+    #: observed rates, which is what makes a journal-backed ``miss_fn``
+    #: resumable: a restarted search replays the same probes and answers
+    #: them from the journal.
+    probes: tuple[tuple[float, float], ...] = ()
 
 
 def find_min_capacity(
@@ -72,6 +78,7 @@ def find_min_capacity(
         raise ValueError(f"zero_threshold must be >= 0, got {zero_threshold!r}")
 
     evaluations = 0
+    probes: list[tuple[float, float]] = []
 
     def misses(capacity: float) -> float:
         nonlocal evaluations
@@ -79,6 +86,7 @@ def find_min_capacity(
         rate = miss_fn(capacity)
         if rate < 0 or rate > 1 or math.isnan(rate):
             raise ValueError(f"miss_fn({capacity!r}) returned {rate!r}")
+        probes.append((capacity, rate))
         return rate
 
     # Phase 1: exponential growth to bracket the threshold.
@@ -113,6 +121,7 @@ def find_min_capacity(
                 evaluations=evaluations,
                 last_missing_capacity=0.0,
                 last_missing_rate=math.inf,
+                probes=tuple(probes),
             )
 
     # Phase 2: bisection.
@@ -129,4 +138,5 @@ def find_min_capacity(
         evaluations=evaluations,
         last_missing_capacity=low,
         last_missing_rate=low_rate,
+        probes=tuple(probes),
     )

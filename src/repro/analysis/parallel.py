@@ -27,11 +27,14 @@ import dataclasses
 import math
 import os
 import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.experiments.common import PaperSetup
 from repro.sim.simulator import SimulationResult
@@ -44,6 +47,7 @@ __all__ = [
     "RunSpec",
     "parallel_capacity_sweep",
     "parallel_miss_rates",
+    "retry_delay",
     "run_parallel",
     "run_parallel_salvage",
 ]
@@ -77,6 +81,45 @@ def _execute(args: tuple[RunSpec, bool]) -> SimulationResult:
         energy_sample_interval=spec.energy_sample_interval,
     )
     return _slim(result) if slim else result
+
+
+@dataclass(frozen=True)
+class _WorkerError:
+    """Picklable capture of a worker-side exception.
+
+    Tracebacks do not survive the process boundary, so the worker
+    formats its own before returning; a :class:`WatchdogError`
+    additionally ships its structured diagnostics snapshot.
+    """
+
+    error_type: str
+    message: str
+    traceback: str
+    diagnostics: Optional[dict[str, Any]] = None
+
+
+def _capture_error(exc: BaseException) -> _WorkerError:
+    from repro.sim.watchdog import WatchdogError
+
+    diagnostics: Optional[dict[str, Any]] = None
+    if isinstance(exc, WatchdogError):
+        diagnostics = dataclasses.asdict(exc.diagnostics)
+    return _WorkerError(
+        error_type=type(exc).__name__,
+        message=str(exc) or type(exc).__name__,
+        traceback="".join(traceback_module.format_exception(exc)),
+        diagnostics=diagnostics,
+    )
+
+
+def _execute_captured(
+    args: tuple[RunSpec, bool]
+) -> Union[SimulationResult, _WorkerError]:
+    """Salvage-path twin of :func:`_execute`: errors return, never raise."""
+    try:
+        return _execute(args)
+    except Exception as exc:  # noqa: BLE001 - salvage semantics
+        return _capture_error(exc)
 
 
 def run_parallel(
@@ -113,6 +156,17 @@ class RunFailure:
         How many times the cell was tried before giving up.
     timed_out:
         Whether the final failure was a timeout (vs. a raised error).
+    traceback:
+        The worker-side formatted traceback of the final error, when one
+        was captured (``None`` for timeouts and broken pools — there is
+        no worker stack to report).
+    diagnostics:
+        Structured :class:`~repro.sim.watchdog.SimulationDiagnostics`
+        snapshot (as a plain dict) when the final error was a
+        :class:`~repro.sim.watchdog.WatchdogError`.
+    quarantined:
+        Whether the supervisor stopped retrying this cell because it
+        reached the poisoned-task threshold (see ``repro.runtime``).
     """
 
     spec: RunSpec
@@ -120,17 +174,37 @@ class RunFailure:
     message: str
     attempts: int
     timed_out: bool = False
+    traceback: Optional[str] = None
+    diagnostics: Optional[dict[str, Any]] = None
+    quarantined: bool = False
 
 
 def _failure(
     spec: RunSpec, exc: BaseException, attempts: int, timed_out: bool = False
 ) -> RunFailure:
+    captured = _capture_error(exc)
     return RunFailure(
         spec=spec,
-        error_type=type(exc).__name__,
-        message=str(exc) or type(exc).__name__,
+        error_type=captured.error_type,
+        message=captured.message,
         attempts=attempts,
         timed_out=timed_out,
+        traceback=captured.traceback,
+        diagnostics=captured.diagnostics,
+    )
+
+
+def _failure_from_worker(
+    spec: RunSpec, err: _WorkerError, attempts: int
+) -> RunFailure:
+    return RunFailure(
+        spec=spec,
+        error_type=err.error_type,
+        message=err.message,
+        attempts=attempts,
+        timed_out=False,
+        traceback=err.traceback,
+        diagnostics=err.diagnostics,
     )
 
 
@@ -158,7 +232,8 @@ def _pooled_round(
     timed_out = False
     try:
         futures = {
-            i: pool.submit(_execute, (specs[i], slim)) for i in indices
+            i: pool.submit(_execute_captured, (specs[i], slim))
+            for i in indices
         }
         start = time.monotonic()
         for i, future in futures.items():
@@ -166,7 +241,7 @@ def _pooled_round(
             if budget is not None:
                 remaining = max(0.0, budget - (time.monotonic() - start))
             try:
-                outcome[i] = future.result(timeout=remaining)
+                cell = future.result(timeout=remaining)
             except FutureTimeoutError:
                 timed_out = True
                 future.cancel()
@@ -177,13 +252,57 @@ def _pooled_round(
                     attempts=0,  # filled in by the caller
                     timed_out=True,
                 )
+                continue
             except BrokenProcessPool as exc:
+                # The worker died (e.g. by signal) — every sibling future
+                # of this pool is lost too; salvage them all from here.
                 outcome[i] = _failure(specs[i], exc, attempts=0)
-            except Exception as exc:  # noqa: BLE001 - salvage any worker error
+                continue
+            except Exception as exc:  # noqa: BLE001 - salvage any pool error
                 outcome[i] = _failure(specs[i], exc, attempts=0)
+                continue
+            if isinstance(cell, _WorkerError):
+                outcome[i] = _failure_from_worker(specs[i], cell, attempts=0)
+            else:
+                outcome[i] = cell
     finally:
         pool.shutdown(wait=not timed_out, cancel_futures=True)
     return outcome
+
+
+def retry_delay(
+    backoff: float,
+    round_no: int,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> float:
+    """Backoff sleep before retry round ``round_no`` (1-based).
+
+    The base delay doubles per round (``backoff * 2**(round_no - 1)``);
+    ``jitter`` widens it by a *seeded* multiplicative factor drawn from
+    ``U[1, 1 + jitter]`` via a private numpy stream, so two sweeps with
+    equal seeds sleep identically — no wall-clock entropy reaches the
+    schedule (exactly the discipline the simulation layer follows).
+    """
+    base = backoff * 2 ** (round_no - 1)
+    if jitter <= 0 or base <= 0:
+        return base
+    rng = np.random.default_rng(seed + round_no)
+    return base * (1.0 + jitter * float(rng.random()))
+
+
+def _retry_order(pending: Sequence[int], round_no: int, seed: int) -> list[int]:
+    """Seeded permutation of the cells retried in ``round_no``.
+
+    Retrying in a deterministic shuffle (rather than input order)
+    decorrelates neighbouring cells that failed together — e.g. a batch
+    that hit one wedged worker — while keeping the whole schedule a pure
+    function of the seed.
+    """
+    rng = np.random.default_rng(seed + 1_000_003 * round_no)
+    order = list(pending)
+    rng.shuffle(order)
+    return order
 
 
 def run_parallel_salvage(
@@ -193,13 +312,17 @@ def run_parallel_salvage(
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.5,
+    jitter: float = 0.0,
+    seed: int = 0,
 ) -> list[Union[SimulationResult, RunFailure]]:
     """Crash-tolerant twin of :func:`run_parallel`.
 
     Every spec yields exactly one entry, in input order: its
     :class:`~repro.sim.SimulationResult` on success, or a
-    :class:`RunFailure` record once ``1 + retries`` attempts are
-    exhausted.  A raising or hanging worker never aborts the sweep.
+    :class:`RunFailure` record (carrying the worker traceback and, for
+    watchdog aborts, the structured diagnostics snapshot) once
+    ``1 + retries`` attempts are exhausted.  A raising or hanging worker
+    never aborts the sweep.
 
     Parameters
     ----------
@@ -214,7 +337,15 @@ def run_parallel_salvage(
     retries:
         Extra attempts per failing cell (0 = one attempt only).
     backoff:
-        Sleep before retry round ``r`` is ``backoff * 2**(r-1)`` seconds.
+        Sleep before retry round ``r`` is ``backoff * 2**(r-1)`` seconds,
+        widened by ``jitter``.
+    jitter:
+        Relative width of the seeded backoff jitter (0 = pure
+        exponential); see :func:`retry_delay`.
+    seed:
+        Seed of the retry schedule: both the backoff jitter and the
+        order in which failing cells are retried are pure functions of
+        it, so a sweep's retry behaviour is bit-reproducible.
     """
     if timeout is not None and timeout <= 0:
         raise ValueError(f"timeout must be > 0 or None, got {timeout!r}")
@@ -222,6 +353,8 @@ def run_parallel_salvage(
         raise ValueError(f"retries must be >= 0, got {retries!r}")
     if backoff < 0:
         raise ValueError(f"backoff must be >= 0, got {backoff!r}")
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {jitter!r}")
     if not specs:
         return []
 
@@ -234,17 +367,23 @@ def run_parallel_salvage(
     for round_no in range(1 + retries):
         if not pending:
             break
-        if round_no > 0 and backoff > 0:
-            time.sleep(backoff * 2 ** (round_no - 1))
+        if round_no > 0:
+            delay = retry_delay(backoff, round_no, jitter=jitter, seed=seed)
+            if delay > 0:
+                time.sleep(delay)
+            pending = _retry_order(pending, round_no, seed)
         still_failing: list[int] = []
         if serial:
             for i in pending:
                 attempts[i] += 1
-                try:
-                    results[i] = _execute((specs[i], slim))
-                except Exception as exc:  # noqa: BLE001 - salvage semantics
-                    failures[i] = _failure(specs[i], exc, attempts[i])
+                cell = _execute_captured((specs[i], slim))
+                if isinstance(cell, _WorkerError):
+                    failures[i] = _failure_from_worker(
+                        specs[i], cell, attempts[i]
+                    )
                     still_failing.append(i)
+                else:
+                    results[i] = cell
         else:
             outcome = _pooled_round(specs, pending, max_workers, slim, timeout)
             for i in pending:

@@ -20,6 +20,14 @@
     finding.  ``--baseline``/``--update-baseline`` turn it into a
     ratchet gate, ``--format sarif`` emits SARIF 2.1.0 for review UIs,
     and ``--fix`` applies the safe mechanical rewrites.
+``repro sweep [options]``
+    Resumable grid sweep through the crash-consistent runtime
+    (:mod:`repro.runtime`): with ``--journal PATH`` every finished cell
+    is durably checkpointed and already-journaled cells are skipped, so
+    a killed sweep reruns to the identical result set.
+``repro journal inspect|export PATH``
+    Examine a result journal (record counts, torn-tail recovery) or
+    export its result set as canonical JSON.
 """
 
 from __future__ import annotations
@@ -145,6 +153,97 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-fixers", action="store_true",
         help="list the registered fixers (and their safety) and exit",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="resumable grid sweep with durable result journaling",
+    )
+    sweep.add_argument(
+        "--scheduler", action="append", default=None,
+        choices=available_schedulers(), dest="schedulers",
+        help="scheduler(s) to sweep (repeatable; default: lsa, ea-dvfs)",
+    )
+    sweep.add_argument("--utilization", type=float, default=0.4)
+    sweep.add_argument(
+        "--capacities", default="50,100,200",
+        help="comma-separated storage capacities (default 50,100,200)",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=4,
+        help="task-set seeds per cell: 0..N-1 (default 4)",
+    )
+    sweep.add_argument(
+        "--horizon", type=float, default=10_000.0,
+        help="simulation horizon per cell (default 10000)",
+    )
+    sweep.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="journal file for checkpoint/resume (default: $REPRO_JOURNAL)",
+    )
+    sweep.add_argument(
+        "--export", metavar="PATH", default=None,
+        help="write the full result set as canonical JSON",
+    )
+    sweep.add_argument("--workers", type=int, default=None)
+    sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell timeout in seconds (pooled runs only)",
+    )
+    sweep.add_argument("--retries", type=int, default=1)
+    sweep.add_argument("--backoff", type=float, default=0.5)
+    sweep.add_argument(
+        "--jitter", type=float, default=0.1,
+        help="relative seeded backoff jitter (default 0.1)",
+    )
+    sweep.add_argument(
+        "--retry-seed", type=int, default=0,
+        help="seed of the retry schedule (backoff jitter + ordering)",
+    )
+    sweep.add_argument(
+        "--quarantine-after", type=int, default=3,
+        help="cumulative attempts before a cell is quarantined (default 3)",
+    )
+    sweep.add_argument(
+        "--max-wall-clock", type=float, default=None,
+        help="stop launching new batches after this many seconds; "
+        "finished cells stay journaled",
+    )
+    sweep.add_argument(
+        "--max-rss-mb", type=float, default=None,
+        help="stop launching new batches once RSS exceeds this (MiB)",
+    )
+    sweep.add_argument(
+        "--chaos-kill-record", type=int, default=None,
+        help="CHAOS HARNESS: SIGKILL this process at the Nth journal "
+        "append (requires --journal)",
+    )
+    sweep.add_argument(
+        "--chaos-kill-mode", default="before",
+        choices=("before", "torn", "after"),
+        help="CHAOS HARNESS: kill before the record, after half of it "
+        "(torn write), or after the full record (default before)",
+    )
+
+    journal = sub.add_parser(
+        "journal", help="inspect or export a sweep result journal"
+    )
+    journal_sub = journal.add_subparsers(dest="journal_command", required=True)
+    inspect = journal_sub.add_parser(
+        "inspect", help="print record counts and recovery info"
+    )
+    inspect.add_argument("path")
+    inspect.add_argument(
+        "--keys", action="store_true",
+        help="also list every journaled key",
+    )
+    export = journal_sub.add_parser(
+        "export", help="dump the journal's result set as canonical JSON"
+    )
+    export.add_argument("path")
+    export.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write to a file (atomic) instead of stdout",
     )
     return parser
 
@@ -373,6 +472,140 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.parallel import RunFailure, RunSpec
+    from repro.runtime import (
+        ResultJournal,
+        SupervisorPolicy,
+        run_supervised,
+    )
+    from repro.runtime.sweep import JOURNAL_ENV
+
+    try:
+        capacities = [float(c) for c in args.capacities.split(",") if c]
+    except ValueError:
+        print(f"error: bad --capacities {args.capacities!r}", file=sys.stderr)
+        return 2
+    if not capacities or args.seeds < 1:
+        print("error: need at least one capacity and one seed",
+              file=sys.stderr)
+        return 2
+    schedulers = tuple(args.schedulers or ("lsa", "ea-dvfs"))
+    setup = PaperSetup(horizon=args.horizon)
+    specs = [
+        RunSpec(
+            scheduler_name=name,
+            utilization=args.utilization,
+            capacity=capacity,
+            seed=seed,
+            setup=setup,
+        )
+        for capacity in capacities
+        for name in schedulers
+        for seed in range(args.seeds)
+    ]
+
+    journal_path = args.journal or os.environ.get(JOURNAL_ENV)
+    if args.chaos_kill_record is not None and journal_path is None:
+        print("error: --chaos-kill-record requires --journal",
+              file=sys.stderr)
+        return 2
+    journal = None
+    if journal_path is not None:
+        if args.chaos_kill_record is not None:
+            from repro.faults.chaos import ChaosJournal
+
+            journal = ChaosJournal(
+                journal_path,
+                kill_record=args.chaos_kill_record,
+                kill_mode=args.chaos_kill_mode,
+            )
+        else:
+            journal = ResultJournal(journal_path)
+
+    try:
+        policy = SupervisorPolicy(
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            jitter=args.jitter,
+            seed=args.retry_seed,
+            quarantine_after=args.quarantine_after,
+            max_wall_clock=args.max_wall_clock,
+            max_rss_mb=args.max_rss_mb,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = run_supervised(
+            specs,
+            policy=policy,
+            journal=journal,
+            max_workers=args.workers,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    print(report.format_text())
+
+    if args.export:
+        from repro.runtime.journal import (
+            journal_key,
+            result_to_payload,
+        )
+        from repro.serialization import atomic_write_text, canonical_json
+
+        payload = {}
+        for spec, outcome in zip(specs, report.outcomes):
+            if outcome is None:
+                continue
+            key = journal_key(spec).text()
+            if isinstance(outcome, RunFailure):
+                payload[key] = {"kind": "failure",
+                                "error_type": outcome.error_type}
+            else:
+                payload[key] = {"kind": "result",
+                                "payload": result_to_payload(outcome)}
+        atomic_write_text(args.export, canonical_json(payload))
+        print(f"result set written to {args.export}")
+    return 0 if report.ok else 1
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from repro.runtime import JournalError, ResultJournal
+    from repro.serialization import atomic_write_text, canonical_json
+
+    try:
+        journal = ResultJournal(args.path, create=False)
+    except (JournalError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.journal_command == "inspect":
+            print(journal.info().format_text())
+            if args.keys:
+                for record in journal.records():
+                    key = record["key"]
+                    print(
+                        f"  [{record['kind']:7s}] {key['spec_hash'][:16]}… "
+                        f"{key['scheduler_name']} e{key['engine_version']}"
+                    )
+            return 0
+        text = canonical_json(journal.to_canonical())
+        if args.out:
+            atomic_write_text(args.out, text)
+            print(f"exported {len(journal)} record(s) to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    finally:
+        journal.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -387,6 +620,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "journal":
+        return _cmd_journal(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

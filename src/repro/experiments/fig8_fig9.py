@@ -123,7 +123,24 @@ def run_miss_rate_sweep(
         n_sets = replications(6)
     capacities = [f * reference_capacity for f in fractions]
     n_workers = workers()
-    if n_workers > 1:
+    import os
+
+    from repro.runtime.sweep import JOURNAL_ENV
+
+    if os.environ.get(JOURNAL_ENV):
+        # Resumable path: every cell checkpoints through $REPRO_JOURNAL,
+        # so a killed sweep reruns only what is missing.
+        from repro.runtime.sweep import journaled_capacity_sweep
+
+        points = journaled_capacity_sweep(
+            scheduler_names=_SCHEDULERS,
+            utilization=utilization,
+            capacities=capacities,
+            seeds=range(n_sets),
+            setup=setup,
+            max_workers=n_workers,
+        )
+    elif n_workers > 1:
         from repro.analysis.parallel import parallel_capacity_sweep
 
         points = parallel_capacity_sweep(

@@ -15,10 +15,12 @@ configuration under the :mod:`repro.faults` wrappers:
 Task sets are generated from the *nominal* mean harvest power in every
 scenario, so all scenarios share the same workload per seed and the
 comparison is paired: only the injected fault differs.  Runs execute
-through :func:`~repro.analysis.parallel.run_parallel_salvage`, so a
-crashing or hanging cell is salvaged as a
+through the supervised sweep runtime
+(:func:`~repro.runtime.sweep.run_journaled_sweep`), so a crashing or
+hanging cell is salvaged as a
 :class:`~repro.analysis.parallel.RunFailure` instead of aborting the
-sweep, and every simulation runs with the watchdog enabled.
+sweep, every simulation runs with the watchdog enabled, and setting
+``$REPRO_JOURNAL`` makes the whole experiment resumable after a kill.
 """
 
 from __future__ import annotations
@@ -189,15 +191,14 @@ def run_resilience(
     """Run the resilience sweep and pool miss rates per scenario.
 
     Every (scenario, scheduler, seed) cell is one watchdogged
-    simulation, executed through the crash-tolerant salvage runner
-    (serial when ``REPRO_WORKERS=1``, the default).  Fixed seeds make
-    the result bit-for-bit deterministic across runs.
+    simulation, executed through the supervised sweep runtime (serial
+    when ``REPRO_WORKERS=1``, the default; checkpointed through
+    ``$REPRO_JOURNAL`` when set).  Fixed seeds make the result
+    bit-for-bit deterministic across runs.
     """
-    from repro.analysis.parallel import (
-        RunFailure,
-        RunSpec,
-        run_parallel_salvage,
-    )
+    from repro.analysis.parallel import RunFailure, RunSpec
+    from repro.runtime.supervisor import SupervisorPolicy
+    from repro.runtime.sweep import run_journaled_sweep
 
     unknown = [s for s in scenarios if s not in _SCENARIO_FLAGS]
     if unknown:
@@ -229,11 +230,13 @@ def run_resilience(
                         setup=cell_setup,
                     )
                 )
-    outcomes: list[Union[SimulationResult, RunFailure]] = run_parallel_salvage(
+    report = run_journaled_sweep(
         specs,
+        policy=SupervisorPolicy(timeout=timeout, retries=retries),
         max_workers=workers(),
-        timeout=timeout,
-        retries=retries,
+    )
+    outcomes: Sequence[Union[SimulationResult, RunFailure, None]] = (
+        report.outcomes
     )
 
     miss_rates: dict[tuple[str, str], float] = {}
@@ -247,7 +250,7 @@ def run_resilience(
             for cell in chunk:
                 if isinstance(cell, RunFailure):
                     failures.append(cell)
-                else:
+                elif cell is not None:
                     missed += cell.missed_count
                     judged += cell.judged_count
             miss_rates[(scenario, name)] = (

@@ -76,45 +76,68 @@ def run_table1(
     initial_capacity: float = 20.0,
     rel_tol: float = 0.02,
 ) -> Table1Result:
-    """Search the minimum zero-miss capacity per scheduler and utilization."""
+    """Search the minimum zero-miss capacity per scheduler and utilization.
+
+    When ``$REPRO_JOURNAL`` names a journal file, every capacity probe
+    checkpoints through it: the search sequence is deterministic, so a
+    killed run replayed against the same journal answers the already
+    probed capacities from disk and resumes the bisection where it died.
+    """
+    from repro.runtime.sweep import journal_from_env, journaled_miss_rates
+
     setup = setup or PaperSetup()
     if n_sets is None:
         n_sets = replications(4)
     seeds = range(n_sets)
     n_workers = workers()
+    journal = journal_from_env()
     rows = []
-    for utilization in utilizations:
-        factory = setup.factory(utilization)
-        searches = {}
-        for name in _SCHEDULERS:
+    try:
+        for utilization in utilizations:
+            factory = setup.factory(utilization)
+            searches = {}
+            for name in _SCHEDULERS:
 
-            def miss_fn(capacity: float, _name: str = name) -> float:
-                if n_workers > 1:
-                    from repro.analysis.parallel import parallel_miss_rates
+                def miss_fn(capacity: float, _name: str = name) -> float:
+                    if journal is not None:
+                        return journaled_miss_rates(
+                            scheduler_names=(_name,),
+                            utilization=utilization,
+                            capacity=capacity,
+                            seeds=seeds,
+                            setup=setup,
+                            journal=journal,
+                            max_workers=n_workers,
+                        )[_name]
+                    if n_workers > 1:
+                        from repro.analysis.parallel import parallel_miss_rates
 
-                    return parallel_miss_rates(
-                        scheduler_names=(_name,),
-                        utilization=utilization,
-                        capacity=capacity,
-                        seeds=seeds,
-                        setup=setup,
-                        max_workers=n_workers,
-                    )[_name]
-                run = run_replications(factory, _name, capacity, seeds)
-                return run.metrics.pooled_miss_rate
+                        return parallel_miss_rates(
+                            scheduler_names=(_name,),
+                            utilization=utilization,
+                            capacity=capacity,
+                            seeds=seeds,
+                            setup=setup,
+                            max_workers=n_workers,
+                        )[_name]
+                    run = run_replications(factory, _name, capacity, seeds)
+                    return run.metrics.pooled_miss_rate
 
-            searches[name] = find_min_capacity(
-                miss_fn,
-                initial=initial_capacity,
-                rel_tol=rel_tol,
+                searches[name] = find_min_capacity(
+                    miss_fn,
+                    initial=initial_capacity,
+                    rel_tol=rel_tol,
+                )
+            rows.append(
+                Table1Row(
+                    utilization=utilization,
+                    cmin_lsa=searches["lsa"].min_capacity,
+                    cmin_ea_dvfs=searches["ea-dvfs"].min_capacity,
+                    lsa_search=searches["lsa"],
+                    ea_search=searches["ea-dvfs"],
+                )
             )
-        rows.append(
-            Table1Row(
-                utilization=utilization,
-                cmin_lsa=searches["lsa"].min_capacity,
-                cmin_ea_dvfs=searches["ea-dvfs"].min_capacity,
-                lsa_search=searches["lsa"],
-                ea_search=searches["ea-dvfs"],
-            )
-        )
+    finally:
+        if journal is not None:
+            journal.close()
     return Table1Result(rows=tuple(rows), n_sets=n_sets)

@@ -19,6 +19,12 @@ without touching the substrate:
 * :class:`OverrunWorkload` — stretches actual execution times beyond the
   WCET with a configurable probability.
 
+Process-level chaos (workers that crash/stall/die by signal, journals
+killed mid-write) lives in :mod:`repro.faults.chaos` and is imported
+explicitly by the runtime tests — it is deliberately not re-exported
+here, so importing the simulation fault wrappers never drags in the
+experiment harness.
+
 All wrappers draw their randomness from a private
 ``numpy.random.default_rng(seed)`` stream extended lazily in index order,
 so runs with equal seeds are bit-for-bit identical regardless of query

@@ -192,4 +192,6 @@ class Baseline:
         return cls.from_json(text)
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+        from repro.serialization import atomic_write_text
+
+        atomic_write_text(path, self.to_json())

@@ -1,0 +1,291 @@
+"""Supervised, budgeted, journal-checkpointed sweep execution.
+
+:func:`run_supervised` generalizes
+:func:`repro.analysis.parallel.run_parallel_salvage` into a crash-aware
+service loop:
+
+* **checkpoint/resume** — with a :class:`~repro.runtime.journal.
+  ResultJournal` attached, cells whose key is already journaled are
+  skipped (results always; failures only once quarantined), and every
+  fresh outcome is durably appended the moment its batch completes, so
+  ``kill -9`` at any point loses at most one in-flight batch;
+* **bounded retries** with seeded exponential backoff + jitter
+  (:func:`repro.analysis.parallel.retry_delay` — the whole retry
+  schedule is a pure function of the policy seed, no wall-clock RNG);
+* **poisoned-task quarantine** — a cell that keeps failing across
+  retries *and resumes* stops being retried once its cumulative attempt
+  count reaches ``quarantine_after``;
+* **graceful degradation** — wall-clock and memory budgets are checked
+  between batches; exceeding one flushes everything finished so far and
+  returns a structured :class:`SweepReport` (``budget_exhausted`` set)
+  instead of dying mid-sweep.
+
+The supervisor is the journal's only writer; workers never touch disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.analysis.parallel import (
+    RunFailure,
+    RunSpec,
+    run_parallel_salvage,
+)
+from repro.runtime.journal import (
+    JournalKey,
+    ResultJournal,
+    failure_from_payload,
+    journal_key,
+    result_from_payload,
+)
+from repro.sim.simulator import SimulationResult
+
+__all__ = ["SupervisorPolicy", "SweepReport", "run_supervised"]
+
+Outcome = Union[SimulationResult, RunFailure]
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Retry, quarantine and budget discipline of one supervised sweep."""
+
+    #: Per-cell wall-clock timeout (pooled rounds only; see
+    #: :func:`~repro.analysis.parallel.run_parallel_salvage`).
+    timeout: Optional[float] = None
+    #: Extra attempts per failing cell within one run.
+    retries: int = 1
+    #: Base backoff before retry round ``r``: ``backoff * 2**(r-1)``.
+    backoff: float = 0.5
+    #: Relative width of the seeded backoff jitter.
+    jitter: float = 0.1
+    #: Seed of the retry schedule (backoff jitter + retry ordering).
+    seed: int = 0
+    #: Cumulative attempts (across resumes) after which a cell is
+    #: poisoned: journaled as a quarantined failure and never retried.
+    quarantine_after: int = 3
+    #: Stop launching new batches once this much wall-clock time (s) has
+    #: elapsed; finished work is flushed and the report says so.
+    max_wall_clock: Optional[float] = None
+    #: Stop launching new batches once the process RSS exceeds this many
+    #: MiB (best effort — measured via ``resource.getrusage``).
+    max_rss_mb: Optional[float] = None
+    #: Cells per supervised batch (= checkpoint granularity).  Default:
+    #: one batch per worker round.
+    batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after!r}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size!r}"
+            )
+        if self.max_wall_clock is not None and self.max_wall_clock <= 0:
+            raise ValueError(
+                f"max_wall_clock must be > 0, got {self.max_wall_clock!r}"
+            )
+        if self.max_rss_mb is not None and self.max_rss_mb <= 0:
+            raise ValueError(
+                f"max_rss_mb must be > 0, got {self.max_rss_mb!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Structured outcome of one supervised sweep.
+
+    ``outcomes`` is in input-spec order; an entry is ``None`` only when
+    a budget ran out before the cell was attempted (``budget_exhausted``
+    names the budget).  Everything that *did* finish — including in
+    earlier interrupted runs, via the journal — is populated.
+    """
+
+    outcomes: tuple[Optional[Outcome], ...]
+    #: Cells answered straight from the journal (no simulation run).
+    journal_hits: int
+    #: Cells simulated in this run.
+    executed: int
+    #: Cells never attempted because a budget ran out.
+    not_run: int
+    #: Cells whose final outcome is a failure record.
+    failed: int
+    #: Failures frozen by the quarantine threshold.
+    quarantined: int
+    elapsed: float
+    #: ``None``, ``"wall-clock"`` or ``"memory"``.
+    budget_exhausted: Optional[str] = None
+    journal_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Every cell has a successful result."""
+        return self.failed == 0 and self.not_run == 0
+
+    @property
+    def completed(self) -> int:
+        return len(self.outcomes) - self.failed - self.not_run
+
+    def results(self) -> list[SimulationResult]:
+        """All successful results, in input order (failures/unrun skipped)."""
+        return [o for o in self.outcomes if isinstance(o, SimulationResult)]
+
+    def failures(self) -> list[RunFailure]:
+        return [o for o in self.outcomes if isinstance(o, RunFailure)]
+
+    def format_text(self) -> str:
+        lines = [
+            f"sweep: {len(self.outcomes)} cell(s) in {self.elapsed:.1f}s — "
+            f"{self.completed} ok, {self.failed} failed "
+            f"({self.quarantined} quarantined), {self.not_run} not run",
+            f"  journal: {self.journal_hits} hit(s), "
+            f"{self.executed} executed"
+            + (f" -> {self.journal_path}" if self.journal_path else ""),
+        ]
+        if self.budget_exhausted:
+            lines.append(
+                f"  budget exhausted ({self.budget_exhausted}); partial "
+                "results were flushed — rerun with the same journal to "
+                "continue"
+            )
+        for failure in self.failures():
+            lines.append(
+                f"  FAILED {failure.spec.scheduler_name} "
+                f"seed={failure.spec.seed} cap={failure.spec.capacity:g}: "
+                f"{failure.error_type}: {failure.message} "
+                f"({failure.attempts} attempt(s)"
+                + (", quarantined)" if failure.quarantined else ")")
+            )
+        return "\n".join(lines)
+
+
+def _rss_mb() -> Optional[float]:
+    """Current peak RSS in MiB (``None`` where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes; normalize by magnitude.
+    return usage / 1024.0 if usage < 1 << 40 else usage / (1024.0 * 1024.0)
+
+
+def _journal_outcome(
+    journal: ResultJournal, key: JournalKey, spec: RunSpec,
+    quarantine_after: int,
+) -> tuple[Optional[Outcome], int]:
+    """(resume outcome, prior attempts) for one journaled key.
+
+    Results resume as-is.  Failures resume as quarantined outcomes once
+    their recorded attempts reach the threshold; below it they return
+    ``None`` (retry) but their attempt count carries over.
+    """
+    record = journal.get(key)
+    if record is None:
+        return None, 0
+    if record["kind"] == "result":
+        return result_from_payload(record["payload"]), 0
+    failure = failure_from_payload(record["payload"], spec)
+    if failure.attempts >= quarantine_after:
+        return dataclasses.replace(failure, quarantined=True), failure.attempts
+    return None, failure.attempts
+
+
+def run_supervised(
+    specs: Sequence[RunSpec],
+    policy: SupervisorPolicy = SupervisorPolicy(),
+    journal: Optional[ResultJournal] = None,
+    max_workers: Optional[int] = None,
+    slim: bool = True,
+) -> SweepReport:
+    """Run ``specs`` under supervision; see the module docstring.
+
+    Without a journal this degrades to batched
+    :func:`~repro.analysis.parallel.run_parallel_salvage` with budget
+    enforcement.  With one, the call is idempotent: rerunning after any
+    interruption converges to the same result set.
+    """
+    started = time.monotonic()
+    n = len(specs)
+    outcomes: list[Optional[Outcome]] = [None] * n
+    prior_attempts = [0] * n
+    journal_hits = 0
+    pending: list[int] = []
+
+    for i, spec in enumerate(specs):
+        if journal is not None:
+            key = journal_key(spec)
+            outcome, prior = _journal_outcome(
+                journal, key, spec, policy.quarantine_after
+            )
+            prior_attempts[i] = prior
+            if outcome is not None:
+                outcomes[i] = outcome
+                journal_hits += 1
+                continue
+        pending.append(i)
+
+    batch_size = policy.batch_size
+    if batch_size is None:
+        batch_size = max_workers or 1
+    executed = 0
+    budget_exhausted: Optional[str] = None
+
+    for start in range(0, len(pending), batch_size):
+        if policy.max_wall_clock is not None and (
+            time.monotonic() - started >= policy.max_wall_clock
+        ):
+            budget_exhausted = "wall-clock"
+            break
+        if policy.max_rss_mb is not None:
+            rss = _rss_mb()
+            if rss is not None and rss >= policy.max_rss_mb:
+                budget_exhausted = "memory"
+                break
+        batch = pending[start:start + batch_size]
+        batch_outcomes = run_parallel_salvage(
+            [specs[i] for i in batch],
+            max_workers=max_workers,
+            slim=slim,
+            timeout=policy.timeout,
+            retries=policy.retries,
+            backoff=policy.backoff,
+            jitter=policy.jitter,
+            seed=policy.seed + start,
+        )
+        for i, outcome in zip(batch, batch_outcomes):
+            executed += 1
+            if isinstance(outcome, RunFailure):
+                total_attempts = prior_attempts[i] + outcome.attempts
+                outcome = dataclasses.replace(
+                    outcome,
+                    attempts=total_attempts,
+                    quarantined=total_attempts >= policy.quarantine_after,
+                )
+            outcomes[i] = outcome
+            if journal is not None:
+                key = journal_key(specs[i])
+                if isinstance(outcome, RunFailure):
+                    journal.append_failure(key, outcome)
+                else:
+                    journal.append_result(key, outcome)
+
+    failures = [o for o in outcomes if isinstance(o, RunFailure)]
+    return SweepReport(
+        outcomes=tuple(outcomes),
+        journal_hits=journal_hits,
+        executed=executed,
+        not_run=sum(1 for o in outcomes if o is None),
+        failed=len(failures),
+        quarantined=sum(1 for f in failures if f.quarantined),
+        elapsed=time.monotonic() - started,
+        budget_exhausted=budget_exhausted,
+        journal_path=str(journal.path) if journal is not None else None,
+    )

@@ -13,7 +13,10 @@ users) persist what a run produced without pickling live objects:
 * :func:`canonical_value` / :func:`canonical_json` — byte-stable
   canonical JSON (sorted keys, normalized floats) used by the
   golden-trace regression store and the determinism tests in
-  :mod:`repro.verify`.
+  :mod:`repro.verify`;
+* :func:`atomic_write_text` — crash-safe write-replace used wherever a
+  reader must never observe a half-written file (golden fixtures, lint
+  baselines, exported sweep results).
 
 Everything is plain ``json``/``csv`` from the standard library — no
 extra dependencies, stable on-disk formats.
@@ -24,6 +27,7 @@ from __future__ import annotations
 import csv
 import json
 import math
+import os
 from pathlib import Path
 from typing import Any, Union
 
@@ -32,6 +36,7 @@ from repro.sim.tracing import Trace
 from repro.tasks.job import Job
 
 __all__ = [
+    "atomic_write_text",
     "canonical_json",
     "canonical_value",
     "jobs_to_csv",
@@ -42,6 +47,32 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` so readers see the old or the new file.
+
+    The payload goes to a sibling temporary file first (same directory,
+    so the final ``os.replace`` stays within one filesystem), is flushed
+    and fsync'd, and only then renamed over the destination.  A crash at
+    any point leaves either the previous content or the complete new
+    content — never a torn file.  The temporary is cleaned up on error.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _json_safe(value: Any) -> Any:

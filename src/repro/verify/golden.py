@@ -22,7 +22,7 @@ import difflib
 from pathlib import Path
 from typing import Any, Union
 
-from repro.serialization import canonical_json
+from repro.serialization import atomic_write_text, canonical_json
 
 __all__ = [
     "GoldenMismatch",
@@ -106,7 +106,7 @@ class GoldenStore:
         actual = canonical_json(payload)
         if self._update:
             self._root.mkdir(parents=True, exist_ok=True)
-            path.write_text(actual)
+            atomic_write_text(path, actual)
             return True
         if not path.exists():
             raise FileNotFoundError(

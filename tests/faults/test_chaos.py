@@ -1,0 +1,111 @@
+"""Unit tests for the process-level chaos primitives."""
+
+import pytest
+
+from repro.faults.chaos import (
+    KILL_MODES,
+    WORKER_FAILURE_MODES,
+    ChaosJournal,
+    FlakySetup,
+    flip_byte,
+    truncate_tail,
+)
+from repro.sim.simulator import SimulationResult
+
+
+def flaky(tmp_path, **kwargs):
+    kwargs.setdefault("horizon", 200.0)
+    kwargs.setdefault("scratch_dir", str(tmp_path / "scratch"))
+    return FlakySetup(**kwargs)
+
+
+class TestFlakySetup:
+    def test_mode_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="failure mode"):
+            flaky(tmp_path, mode="explode")
+        for mode in WORKER_FAILURE_MODES:
+            flaky(tmp_path, mode=mode)
+
+    def test_needs_scratch_dir(self):
+        setup = FlakySetup(horizon=200.0)
+        with pytest.raises(ValueError, match="scratch_dir"):
+            setup.run("edf", 0.4, 50.0, 0)
+
+    def test_attempts_counted_across_instances(self, tmp_path):
+        setup = flaky(tmp_path, fail_attempts=2)
+        assert setup.attempts_so_far("edf", 50.0, 0) == 0
+        for attempt in (1, 2):
+            with pytest.raises(RuntimeError, match=f"attempt {attempt}"):
+                setup.run("edf", 0.4, 50.0, 0)
+        # A fresh instance (like a fresh worker process) sees the same
+        # count through the marker files and is healthy now.
+        again = flaky(tmp_path, fail_attempts=2)
+        assert again.attempts_so_far("edf", 50.0, 0) == 2
+        result = again.run("edf", 0.4, 50.0, 0)
+        assert isinstance(result, SimulationResult)
+
+    def test_cells_fail_independently(self, tmp_path):
+        setup = flaky(tmp_path, fail_attempts=1)
+        with pytest.raises(RuntimeError):
+            setup.run("edf", 0.4, 50.0, 0)
+        # Different seed = different marker: still has its failure due.
+        with pytest.raises(RuntimeError):
+            setup.run("edf", 0.4, 50.0, 1)
+        assert setup.attempts_so_far("edf", 50.0, 0) == 1
+        assert setup.attempts_so_far("edf", 50.0, 1) == 1
+
+    def test_healthy_run_matches_paper_setup(self, tmp_path):
+        from repro.experiments.common import PaperSetup
+        from repro.runtime.journal import result_to_payload
+
+        setup = flaky(tmp_path, fail_attempts=0)
+        plain = PaperSetup(horizon=200.0)
+        chaotic = setup.run("edf", 0.4, 50.0, 0)
+        reference = plain.run("edf", 0.4, 50.0, 0)
+        # Bit-exact: a FlakySetup past its failure budget IS the paper
+        # setup (payload comparison keeps the exactness intent visible).
+        assert result_to_payload(chaotic) == result_to_payload(reference)
+
+
+class TestChaosJournal:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="kill_record"):
+            ChaosJournal(tmp_path / "j.journal", kill_record=0)
+        with pytest.raises(ValueError, match="kill mode"):
+            ChaosJournal(tmp_path / "j.journal", kill_record=1, kill_mode="later")
+        for mode in KILL_MODES:
+            ChaosJournal(tmp_path / f"{mode}.journal", 1, mode).close()
+
+    def test_appends_before_armed_record_are_normal(self, tmp_path):
+        # Arming record 99 means the whole test-sized sweep survives.
+        from repro.runtime.journal import journal_key
+        from tests.runtime.test_journal import make_result, make_spec
+
+        journal = ChaosJournal(tmp_path / "j.journal", kill_record=99)
+        journal.append_result(journal_key(make_spec()), make_result())
+        assert len(journal) == 1
+        journal.close()
+
+
+class TestCorruptionHelpers:
+    def test_truncate_tail(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"0123456789")
+        truncate_tail(path, 4)
+        assert path.read_bytes() == b"012345"
+        truncate_tail(path, 100)
+        assert path.read_bytes() == b""
+        with pytest.raises(ValueError, match="drop_bytes"):
+            truncate_tail(path, -1)
+
+    def test_flip_byte(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"0123456789")
+        flip_byte(path, 1)
+        data = path.read_bytes()
+        assert data[:9] == b"012345678"
+        assert data[9] == ord("9") ^ 0xFF
+        with pytest.raises(ValueError, match="offset_from_end"):
+            flip_byte(path, 0)
+        with pytest.raises(ValueError, match="offset_from_end"):
+            flip_byte(path, 11)

@@ -1,0 +1,132 @@
+"""Chaos acceptance suite: kill-and-resume equals uninterrupted.
+
+These tests drive the real CLI in real subprocesses: a sweep is
+SIGKILL'd at three seeded interruption points — before a journal append,
+mid-append (torn write) and right after one — then resumed against the
+surviving journal.  The acceptance bar is bit-identical canonical
+exports versus a sweep that was never interrupted.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SWEEP_ARGS = [
+    "sweep",
+    "--scheduler", "edf",
+    "--capacities", "50",
+    "--seeds", "3",
+    "--horizon", "200",
+    "--workers", "1",
+]
+
+#: (1-based armed append, kill mode): the three seeded interruption
+#: points of the acceptance criterion — first record lost entirely,
+#: second torn mid-write, third durable with the process dying after.
+KILL_POINTS = [(1, "before"), (2, "torn"), (3, "after")]
+
+
+def run_cli(args, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env.pop("REPRO_JOURNAL", None)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"cli {args} failed ({proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+def sweep(journal, extra=()):
+    return run_cli([*SWEEP_ARGS, "--journal", str(journal), *extra])
+
+
+def export(journal, out):
+    run_cli(["journal", "export", str(journal), "--out", str(out)])
+    return Path(out).read_bytes()
+
+
+@pytest.mark.slow
+class TestKillAndResume:
+    def test_resume_is_bit_identical_at_every_kill_point(self, tmp_path):
+        clean = tmp_path / "clean.journal"
+        sweep(clean)
+        reference = export(clean, tmp_path / "clean.json")
+        assert reference  # non-empty canonical export
+
+        for record, mode in KILL_POINTS:
+            journal = tmp_path / f"chaos-{record}-{mode}.journal"
+            proc = run_cli(
+                [
+                    *SWEEP_ARGS,
+                    "--journal", str(journal),
+                    "--chaos-kill-record", str(record),
+                    "--chaos-kill-mode", mode,
+                ],
+                check=False,
+            )
+            assert proc.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL), (
+                f"expected SIGKILL death at ({record}, {mode}), got "
+                f"{proc.returncode}: {proc.stdout} {proc.stderr}"
+            )
+
+            # What survived is exactly what the kill mode promises.
+            inspect = run_cli(["journal", "inspect", str(journal)]).stdout
+            durable = record if mode == "after" else record - 1
+            assert f"records: {durable} " in inspect
+            if mode == "torn":
+                assert "recovered: discarded" in inspect
+
+            # Resume: only the missing cells run, then exports match
+            # the uninterrupted reference byte for byte.
+            resumed = sweep(journal)
+            assert f"journal: {durable} hit(s)" in resumed.stdout
+            assert export(journal, tmp_path / f"{record}-{mode}.json") == reference
+
+    def test_double_kill_then_resume(self, tmp_path):
+        # Crash twice at different points; the journal still converges.
+        journal = tmp_path / "twice.journal"
+        for record, mode in ((1, "torn"), (2, "torn")):
+            proc = run_cli(
+                [
+                    *SWEEP_ARGS,
+                    "--journal", str(journal),
+                    "--chaos-kill-record", str(record),
+                    "--chaos-kill-mode", mode,
+                ],
+                check=False,
+            )
+            assert proc.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL)
+        sweep(journal)
+        clean = tmp_path / "clean.journal"
+        sweep(clean)
+        assert export(journal, tmp_path / "a.json") == export(
+            clean, tmp_path / "b.json"
+        )
+
+
+@pytest.mark.slow
+class TestCliSweepFailures:
+    def test_usage_errors_exit_2(self, tmp_path):
+        proc = run_cli(
+            [*SWEEP_ARGS, "--chaos-kill-record", "1"], check=False
+        )
+        assert proc.returncode == 2  # chaos kill without --journal
+
+    def test_sweep_exit_codes(self, tmp_path):
+        ok = run_cli([*SWEEP_ARGS, "--export", str(tmp_path / "e.json")])
+        assert "3 ok" in ok.stdout
+        assert (tmp_path / "e.json").exists()

@@ -187,3 +187,72 @@ class TestVerifyDiscrepancies:
         out = capsys.readouterr().out
         assert "DISCREPANCIES" in out
         assert "boom" in out
+
+
+class TestSweepAndJournalCommands:
+    SWEEP = [
+        "sweep", "--scheduler", "edf", "--capacities", "50",
+        "--seeds", "2", "--horizon", "200", "--workers", "1",
+    ]
+
+    def test_sweep_without_journal(self, capsys):
+        assert main(self.SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out
+        assert "2 ok" in out
+
+    def test_sweep_journal_resume_and_export(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        export = tmp_path / "results.json"
+        args = self.SWEEP + ["--journal", str(journal)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 hit(s), 2 executed" in first
+        assert main(args + ["--export", str(export)]) == 0
+        second = capsys.readouterr().out
+        assert "2 hit(s), 0 executed" in second
+        assert export.exists()
+        import json
+
+        data = json.loads(export.read_text())
+        assert len(data) == 2
+        assert all(record["kind"] == "result" for record in data.values())
+
+    def test_sweep_env_journal(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL", str(tmp_path / "env.journal"))
+        assert main(self.SWEEP) == 0
+        capsys.readouterr()
+        assert main(self.SWEEP) == 0
+        assert "2 hit(s), 0 executed" in capsys.readouterr().out
+
+    def test_bad_capacities_exit_2(self, capsys):
+        assert main(["sweep", "--capacities", "fifty"]) == 2
+
+    def test_chaos_requires_journal(self, capsys):
+        assert main(self.SWEEP + ["--chaos-kill-record", "1"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_journal_inspect_and_keys(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        assert main(self.SWEEP + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["journal", "inspect", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "records: 2" in out
+        assert main(["journal", "inspect", str(journal), "--keys"]) == 0
+        out = capsys.readouterr().out
+        assert "[result ]" in out
+        assert "edf e1" in out
+
+    def test_journal_export_stdout(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        assert main(self.SWEEP + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["journal", "export", str(journal)]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        assert len(json.loads(out)) == 2
+
+    def test_journal_inspect_missing_exit_2(self, capsys, tmp_path):
+        assert main(["journal", "inspect", str(tmp_path / "nope.journal")]) == 2
