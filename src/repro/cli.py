@@ -119,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the live progress counter",
     )
+    verify.add_argument(
+        "--batch", action="store_true",
+        help="differentially check the vectorized batch engine against "
+        "the scalar simulator instead of the oracle battery",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -186,6 +191,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full result set as canonical JSON",
     )
     sweep.add_argument("--workers", type=int, default=None)
+    sweep.add_argument(
+        "--engine", default=None, choices=("scalar", "batch"),
+        help="execution engine: scalar event simulator or the vectorized "
+        "batch core with scalar fallback (default: $REPRO_ENGINE or "
+        "scalar)",
+    )
+    sweep.add_argument(
+        "--predictor", default="profile", choices=_PREDICTOR_CHOICES,
+        help="harvest predictor (default profile; the batch engine only "
+        "vectorizes oracle — other kinds fall back to scalar)",
+    )
     sweep.add_argument(
         "--timeout", type=float, default=None,
         help="per-cell timeout in seconds (pooled runs only)",
@@ -377,6 +393,7 @@ def _cmd_feasibility(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import run_differential
+    from repro.verify.batch_equivalence import run_batch_equivalence
 
     if args.n < 1:
         print(f"error: --n must be >= 1, got {args.n}", file=sys.stderr)
@@ -388,8 +405,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if done == total:
             print(file=sys.stderr)
 
+    battery = run_batch_equivalence if args.batch else run_differential
     started = time.perf_counter()
-    report = run_differential(
+    report = battery(
         n=args.n,
         seed=args.seed,
         allow_faults=not args.no_faults,
@@ -481,7 +499,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         SupervisorPolicy,
         run_supervised,
     )
-    from repro.runtime.sweep import JOURNAL_ENV
+    from repro.runtime.sweep import JOURNAL_ENV, engine_from_env
 
     try:
         capacities = [float(c) for c in args.capacities.split(",") if c]
@@ -493,7 +511,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     schedulers = tuple(args.schedulers or ("lsa", "ea-dvfs"))
-    setup = PaperSetup(horizon=args.horizon)
+    setup = PaperSetup(horizon=args.horizon, predictor_kind=args.predictor)
     specs = [
         RunSpec(
             scheduler_name=name,
@@ -541,11 +559,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
 
     try:
+        engine = args.engine or engine_from_env()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
         report = run_supervised(
             specs,
             policy=policy,
             journal=journal,
             max_workers=args.workers,
+            engine=engine,
         )
     finally:
         if journal is not None:

@@ -236,6 +236,14 @@ class SolarStochasticSource(_QuantizedSource):
     def rectify(self) -> str:
         return self._rectify
 
+    @property
+    def amplitude(self) -> float:
+        return self._amplitude
+
+    @property
+    def envelope_period(self) -> float:
+        return self._envelope_period
+
     def _draw(self, index: int) -> float:
         """Rectified normal draw for quantum ``index`` (cached, in-order)."""
         while len(self._draws) <= index:
@@ -415,6 +423,26 @@ class DayNightSource(EnergySource):
                 f"phase must lie in [0, {self._cycle!r}), got {phase!r}"
             )
         self._phase = float(phase)
+
+    @property
+    def day_power(self) -> float:
+        return self._day_power
+
+    @property
+    def night_power(self) -> float:
+        return self._night_power
+
+    @property
+    def day_length(self) -> float:
+        return self._day_length
+
+    @property
+    def night_length(self) -> float:
+        return self._night_length
+
+    @property
+    def phase(self) -> float:
+        return self._phase
 
     def _position(self, t: float) -> float:
         _check_time(t)

@@ -108,8 +108,14 @@ def run_miss_rate_sweep(
     reference_capacity: float | None = None,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     n_sets: int | None = None,
+    engine: str | None = None,
 ) -> MissRateResult:
-    """Sweep capacity fractions and measure pooled miss rates."""
+    """Sweep capacity fractions and measure pooled miss rates.
+
+    ``engine`` selects the execution engine (``"scalar"`` or
+    ``"batch"``); ``None`` reads ``$REPRO_ENGINE``.  The batch engine
+    runs through the journaled sweep path (with or without a journal).
+    """
     setup = setup or PaperSetup()
     if reference_capacity is None:
         try:
@@ -125,11 +131,15 @@ def run_miss_rate_sweep(
     n_workers = workers()
     import os
 
-    from repro.runtime.sweep import JOURNAL_ENV
+    from repro.runtime.sweep import JOURNAL_ENV, engine_from_env
 
-    if os.environ.get(JOURNAL_ENV):
+    if engine is None:
+        engine = engine_from_env()
+    if engine == "batch" or os.environ.get(JOURNAL_ENV):
         # Resumable path: every cell checkpoints through $REPRO_JOURNAL,
-        # so a killed sweep reruns only what is missing.
+        # so a killed sweep reruns only what is missing.  The batch
+        # engine also routes through here — the supervisor is where the
+        # engine switch lives.
         from repro.runtime.sweep import journaled_capacity_sweep
 
         points = journaled_capacity_sweep(
@@ -139,6 +149,7 @@ def run_miss_rate_sweep(
             seeds=range(n_sets),
             setup=setup,
             max_workers=n_workers,
+            engine=engine,
         )
     elif n_workers > 1:
         from repro.analysis.parallel import parallel_capacity_sweep

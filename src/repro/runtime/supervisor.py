@@ -123,6 +123,11 @@ class SweepReport:
     #: ``None``, ``"wall-clock"`` or ``"memory"``.
     budget_exhausted: Optional[str] = None
     journal_path: Optional[str] = None
+    #: Which execution engine ran the cells (``"scalar"`` or ``"batch"``).
+    engine: str = "scalar"
+    #: Cells the batch engine handed back to the scalar path (uncovered
+    #: shapes or core guard trips); always 0 on the scalar engine.
+    batch_fallbacks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -149,6 +154,11 @@ class SweepReport:
             f"{self.executed} executed"
             + (f" -> {self.journal_path}" if self.journal_path else ""),
         ]
+        if self.engine != "scalar":
+            lines.append(
+                f"  engine: {self.engine} "
+                f"({self.batch_fallbacks} scalar fallback(s))"
+            )
         if self.budget_exhausted:
             lines.append(
                 f"  budget exhausted ({self.budget_exhausted}); partial "
@@ -204,6 +214,7 @@ def run_supervised(
     journal: Optional[ResultJournal] = None,
     max_workers: Optional[int] = None,
     slim: bool = True,
+    engine: str = "scalar",
 ) -> SweepReport:
     """Run ``specs`` under supervision; see the module docstring.
 
@@ -211,7 +222,17 @@ def run_supervised(
     :func:`~repro.analysis.parallel.run_parallel_salvage` with budget
     enforcement.  With one, the call is idempotent: rerunning after any
     interruption converges to the same result set.
+
+    ``engine="batch"`` routes each batch through the vectorized SoA core
+    (:func:`repro.sim.batch.execute_runspecs`); cells the core does not
+    cover run scalar and are tallied in ``SweepReport.batch_fallbacks``.
+    Results are equivalent either way (the differential equivalence
+    suite enforces it), so journal entries mix freely across engines.
     """
+    if engine not in ("scalar", "batch"):
+        raise ValueError(
+            f"engine must be 'scalar' or 'batch', got {engine!r}"
+        )
     started = time.monotonic()
     n = len(specs)
     outcomes: list[Optional[Outcome]] = [None] * n
@@ -234,8 +255,14 @@ def run_supervised(
 
     batch_size = policy.batch_size
     if batch_size is None:
-        batch_size = max_workers or 1
+        # The vectorized engine amortizes per-pass dispatch over every
+        # lane, so it wants the widest batch available; the scalar pool
+        # checkpoints once per worker round.
+        batch_size = (
+            max(1, len(pending)) if engine == "batch" else (max_workers or 1)
+        )
     executed = 0
+    batch_fallbacks = 0
     budget_exhausted: Optional[str] = None
 
     for start in range(0, len(pending), batch_size):
@@ -250,16 +277,24 @@ def run_supervised(
                 budget_exhausted = "memory"
                 break
         batch = pending[start:start + batch_size]
-        batch_outcomes = run_parallel_salvage(
-            [specs[i] for i in batch],
-            max_workers=max_workers,
-            slim=slim,
-            timeout=policy.timeout,
-            retries=policy.retries,
-            backoff=policy.backoff,
-            jitter=policy.jitter,
-            seed=policy.seed + start,
-        )
+        if engine == "batch":
+            from repro.sim.batch import execute_runspecs
+
+            batch_outcomes, fallback_reasons = execute_runspecs(
+                [specs[i] for i in batch], slim=slim
+            )
+            batch_fallbacks += sum(fallback_reasons.values())
+        else:
+            batch_outcomes = run_parallel_salvage(
+                [specs[i] for i in batch],
+                max_workers=max_workers,
+                slim=slim,
+                timeout=policy.timeout,
+                retries=policy.retries,
+                backoff=policy.backoff,
+                jitter=policy.jitter,
+                seed=policy.seed + start,
+            )
         for i, outcome in zip(batch, batch_outcomes):
             executed += 1
             if isinstance(outcome, RunFailure):
@@ -288,4 +323,6 @@ def run_supervised(
         elapsed=time.monotonic() - started,
         budget_exhausted=budget_exhausted,
         journal_path=str(journal.path) if journal is not None else None,
+        engine=engine,
+        batch_fallbacks=batch_fallbacks,
     )

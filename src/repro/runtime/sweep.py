@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "SweepFailedError",
+    "engine_from_env",
     "journal_from_env",
     "journaled_capacity_sweep",
     "journaled_miss_rates",
@@ -41,6 +42,9 @@ __all__ = [
 
 #: Environment variable naming the journal file of the current sweep.
 JOURNAL_ENV = "REPRO_JOURNAL"
+
+#: Environment variable selecting the sweep engine (scalar or batch).
+ENGINE_ENV = "REPRO_ENGINE"
 
 
 class SweepFailedError(RuntimeError):
@@ -66,27 +70,43 @@ def journal_from_env() -> Optional[ResultJournal]:
     return ResultJournal(path)
 
 
+def engine_from_env() -> str:
+    """The engine named by ``$REPRO_ENGINE`` (default ``"scalar"``)."""
+    engine = os.environ.get(ENGINE_ENV, "").strip() or "scalar"
+    if engine not in ("scalar", "batch"):
+        raise ValueError(
+            f"{ENGINE_ENV} must be 'scalar' or 'batch', got {engine!r}"
+        )
+    return engine
+
+
 def run_journaled_sweep(
     specs: Sequence[RunSpec],
     journal: Optional[ResultJournal] = None,
     policy: SupervisorPolicy = SupervisorPolicy(),
     max_workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> SweepReport:
     """Supervised sweep over ``specs``; journal defaults to the env var.
 
     The journal (owned or env-derived) is closed before returning when
     this function opened it; pass an explicit instance to keep it open
-    across several sweeps (the capacity search does).
+    across several sweeps (the capacity search does).  ``engine=None``
+    reads ``$REPRO_ENGINE`` (scalar when unset), so existing experiments
+    pick up the vectorized core without new plumbing.
     """
     owned = journal is None
     if owned:
         journal = journal_from_env()
+    if engine is None:
+        engine = engine_from_env()
     try:
         return run_supervised(
             specs,
             policy=policy,
             journal=journal,
             max_workers=max_workers,
+            engine=engine,
         )
     finally:
         if owned and journal is not None:
@@ -115,6 +135,7 @@ def journaled_miss_rates(
     journal: Optional[ResultJournal] = None,
     policy: SupervisorPolicy = SupervisorPolicy(),
     max_workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> dict[str, float]:
     """Journal-aware twin of
     :func:`repro.analysis.parallel.parallel_miss_rates`."""
@@ -131,7 +152,11 @@ def journaled_miss_rates(
         for seed in seeds
     ]
     report = run_journaled_sweep(
-        specs, journal=journal, policy=policy, max_workers=max_workers
+        specs,
+        journal=journal,
+        policy=policy,
+        max_workers=max_workers,
+        engine=engine,
     )
     _complete_results(report)
     results = report.results()
@@ -154,6 +179,7 @@ def journaled_capacity_sweep(
     journal: Optional[ResultJournal] = None,
     policy: SupervisorPolicy = SupervisorPolicy(),
     max_workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> "list[CapacitySweepPoint]":
     """Journal-aware twin of
     :func:`repro.analysis.parallel.parallel_capacity_sweep`.
@@ -179,7 +205,11 @@ def journaled_capacity_sweep(
         for seed in seeds
     ]
     report = run_journaled_sweep(
-        specs, journal=journal, policy=policy, max_workers=max_workers
+        specs,
+        journal=journal,
+        policy=policy,
+        max_workers=max_workers,
+        engine=engine,
     )
     _complete_results(report)
     results = report.results()

@@ -1,0 +1,1423 @@
+"""Structure-of-arrays batch simulator: N scenarios in numpy lockstep.
+
+The scalar simulator (:mod:`repro.sim.simulator`) advances one scenario
+segment by segment: every iteration of its main loop processes due
+events, possibly asks the scheduler for a decision, computes the next
+segment end and evolves storage/progress analytically across it.  All
+of that arithmetic is closed-form, so *N* scenarios can run in lockstep
+with one numpy operation per scalar statement: this module holds every
+piece of per-scenario state (storage level, event cursor, ready-set
+bitmaps, running job/level, stall windows) in arrays indexed by "lane"
+(= scenario) and executes the scalar main loop's body element-wise.
+
+**Equivalence doctrine** — the batch engine is a *mirror*, not a
+re-derivation: each step performs the same IEEE float64 operations in
+the same order as the scalar code path it shadows (references inline).
+Miss counts, decisions and schedules are therefore bit-exact, and
+energy trajectories agree to the documented tolerance (see
+``docs/batch-simulation.md``; in practice they are bit-equal too).
+This is enforced by :mod:`repro.verify.batch_equivalence` and
+``tests/sim/test_batch_equivalence.py``.
+
+**Coverage** — the core handles the shapes the paper experiments use:
+schedulers ``edf`` / ``lsa`` / ``ea-dvfs`` / ``ea-dvfs-noslowdown``,
+constant / solar-stochastic / day-night sources (unfaulted), finite
+:class:`~repro.energy.storage.IdealStorage`, the oracle predictor,
+both miss policies, zero switching overhead, no tracing/sampling.
+Everything else (fault plans, profile/mean predictors, infinite
+storage, custom schedulers) falls back per-scenario to the scalar
+simulator; :class:`BatchRunner` counts those fallbacks so sweeps can
+report them (``SweepReport.batch_fallbacks``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cpu.dvfs import FrequencyScale
+from repro.energy.source import (
+    ConstantSource,
+    DayNightSource,
+    EnergySource,
+    SolarStochasticSource,
+)
+from repro.energy.storage import EnergyStorage, IdealStorage
+from repro.sched.registry import make_scheduler
+from repro.sched.vectorized import (
+    SCHEDULER_KINDS,
+    SCHED_EDF,
+    BoolArray,
+    FloatArray,
+    IntArray,
+    batch_decide,
+    batch_time_le,
+)
+from repro.sim.simulator import SimulationResult
+from repro.tasks.job import Job, JobState
+from repro.tasks.task import PeriodicTask, TaskSet
+from repro.timeutils import EPSILON, INFINITY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.parallel import RunFailure, RunSpec
+    from repro.verify.scenarios import ScenarioSpec
+
+__all__ = [
+    "BatchOutcome",
+    "BatchRunner",
+    "UncoveredScenarioError",
+    "run_scenario_batch",
+    "execute_runspecs",
+    "runspec_fallback_reason",
+    "scenario_fallback_reason",
+]
+
+
+class UncoveredScenarioError(Exception):
+    """The batch core does not cover this scenario shape (use scalar)."""
+
+
+# -- source parameterization ----------------------------------------------
+
+_SRC_CONST = 0
+_SRC_QUANTIZED = 1
+_SRC_DAYNIGHT = 2
+
+#: Job state codes used in the SoA arrays (indices into this tuple).
+_JOB_STATES = (
+    JobState.PENDING,
+    JobState.READY,
+    JobState.COMPLETED,
+    JobState.MISSED,
+)
+_PENDING, _READY, _COMPLETED, _MISSED = range(4)
+
+#: Rank sentinel for "no ready job" (larger than any real rank).
+_NO_JOB = np.iinfo(np.int64).max
+
+
+@dataclass
+class _SourceParams:
+    """Closed-form parameters of one lane's (unfaulted) energy source."""
+
+    kind: int
+    const_power: float = 0.0
+    quantum: float = 1.0
+    quantized_powers: FloatArray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.float64)
+    )
+    day_power: float = 0.0
+    night_power: float = 0.0
+    day_length: float = 0.0
+    cycle: float = 1.0
+    phase: float = 0.0
+
+
+def _source_params(source: EnergySource, t_max: float) -> _SourceParams:
+    """Extract vectorizable parameters, or raise ``UncoveredScenarioError``.
+
+    For the solar source, per-quantum powers are precomputed with the
+    same arithmetic the scalar source performs lazily: batched
+    ``standard_normal`` draws equal sequential single draws for one
+    ``default_rng`` seed, and the numpy float64 element-wise kernels
+    (abs/max/cos/mul/div) match ``math``'s scalars bit for bit.
+    """
+    if type(source) is ConstantSource:
+        return _SourceParams(kind=_SRC_CONST, const_power=source.power(0.0))
+    if type(source) is SolarStochasticSource:
+        quantum = source.quantum
+        count = int(math.ceil(t_max / quantum)) + 2
+        rng = np.random.default_rng(source.seed)
+        draws = rng.standard_normal(count)
+        rectify = source.rectify
+        if rectify == "abs":
+            draws = np.abs(draws)
+        elif rectify == "clamp":
+            draws = np.maximum(draws, 0.0)
+        midpoints = (np.arange(count) + 0.5) * quantum
+        # Mirrors SolarStochasticSource.power: amplitude * draw * cos^2.
+        cosine = np.cos(np.pi * midpoints / source.envelope_period)
+        powers = source.amplitude * draws * (cosine * cosine)
+        return _SourceParams(
+            kind=_SRC_QUANTIZED, quantum=quantum, quantized_powers=powers
+        )
+    if type(source) is DayNightSource:
+        return _SourceParams(
+            kind=_SRC_DAYNIGHT,
+            day_power=source.day_power,
+            night_power=source.night_power,
+            day_length=source.day_length,
+            cycle=source.day_length + source.night_length,
+            phase=source.phase,
+        )
+    raise UncoveredScenarioError(
+        f"source type {type(source).__name__} is not vectorized"
+    )
+
+
+# -- lane descriptors -----------------------------------------------------
+
+
+@dataclass
+class _Lane:
+    """Immutable per-scenario setup feeding the SoA core.
+
+    ``jobs`` holds the *real* :class:`Job` objects (in the simulator's
+    deterministic ``(release, deadline, task name)`` order); the core
+    writes final states back into them so downstream consumers (oracle
+    checks, ``compare_schedules``) see exactly what the scalar engine
+    would have produced.
+    """
+
+    scheduler_name: str
+    sched_kind: int
+    horizon: float
+    miss_drop: bool
+    capacity: float
+    initial_stored: float
+    speeds: FloatArray
+    powers: FloatArray
+    source: _SourceParams
+    #: ``None`` for slim sweep lanes built straight from task arrays —
+    #: those cannot serve ``result(include_jobs=True)``.
+    jobs: Optional[list[Job]]
+    # per-job static columns (job-index order)
+    jrelease: FloatArray
+    jdeadline: FloatArray
+    jwork: FloatArray
+    jactual: FloatArray
+    #: per-job task index into ``task_names`` (for per-task tallies)
+    jtask: IntArray
+    task_names: list[str]
+    # event table, presorted by (time, priority, sequence)
+    ev_time: FloatArray
+    ev_is_deadline: BoolArray
+    ev_job: IntArray
+
+    @property
+    def n_jobs(self) -> int:
+        return int(self.jrelease.shape[0])
+
+
+def _build_lane(
+    scheduler_name: str,
+    scale: FrequencyScale,
+    jobs: list[Job],
+    source: EnergySource,
+    storage: EnergyStorage,
+    horizon: float,
+    miss_drop: bool,
+) -> _Lane:
+    """Assemble a lane from real ``Job`` objects (the full-fidelity path)."""
+    jobs = list(jobs)
+    jrelease = np.asarray([j.release for j in jobs], dtype=np.float64)
+    jdeadline = np.asarray(
+        [j.absolute_deadline for j in jobs], dtype=np.float64
+    )
+    task_names: list[str] = []
+    task_index: dict[str, int] = {}
+    jtask = np.zeros(len(jobs), dtype=np.int64)
+    for k, job in enumerate(jobs):
+        name = job.task.name
+        if name not in task_index:
+            task_index[name] = len(task_names)
+            task_names.append(name)
+        jtask[k] = task_index[name]
+    return _assemble_lane(
+        scheduler_name=scheduler_name,
+        scale=scale,
+        source=source,
+        storage=storage,
+        horizon=horizon,
+        miss_drop=miss_drop,
+        jrelease=jrelease,
+        jdeadline=jdeadline,
+        jwork=np.asarray([j.remaining_work for j in jobs], dtype=np.float64),
+        jactual=np.asarray(
+            [j.remaining_actual_work for j in jobs], dtype=np.float64
+        ),
+        jtask=jtask,
+        task_names=task_names,
+        jobs=jobs,
+    )
+
+
+def _assemble_lane(
+    scheduler_name: str,
+    scale: FrequencyScale,
+    source: EnergySource,
+    storage: EnergyStorage,
+    horizon: float,
+    miss_drop: bool,
+    jrelease: FloatArray,
+    jdeadline: FloatArray,
+    jwork: FloatArray,
+    jactual: FloatArray,
+    jtask: IntArray,
+    task_names: list[str],
+    jobs: Optional[list[Job]],
+) -> _Lane:
+    """Assemble a lane, raising ``UncoveredScenarioError`` where needed."""
+    if scheduler_name not in SCHEDULER_KINDS:
+        raise UncoveredScenarioError(
+            f"scheduler {scheduler_name!r} is not vectorized"
+        )
+    if type(storage) is not IdealStorage:
+        raise UncoveredScenarioError(
+            f"storage type {type(storage).__name__} is not vectorized"
+        )
+    if not math.isfinite(storage.capacity):
+        raise UncoveredScenarioError("infinite storage is not vectorized")
+    t_max = max(
+        horizon, float(jdeadline.max()) if jdeadline.size else horizon
+    )
+    params = _source_params(source, t_max)
+    # Event table: mirrors _seed_events — a release (priority 1) per job,
+    # a deadline (priority 0) per job judged within the horizon, sequence
+    # in insertion order; then heap order (time, priority, sequence).
+    # Insertion order interleaves release/deadline per job, so a job's
+    # release sequence is its index plus the number of judged deadlines
+    # inserted before it (an exclusive prefix count).
+    n_jobs = int(jrelease.shape[0])
+    judged_dl = jdeadline <= horizon + EPSILON
+    before = np.zeros(n_jobs, dtype=np.int64)
+    if n_jobs:
+        before[1:] = np.cumsum(judged_dl[:-1])
+    rel_seq = np.arange(n_jobs, dtype=np.int64) + before
+    dl_idx = np.flatnonzero(judged_dl)
+    times = np.concatenate([jrelease, jdeadline[dl_idx]])
+    prio = np.concatenate(
+        [np.ones(n_jobs, dtype=np.int64), np.zeros(dl_idx.size, dtype=np.int64)]
+    )
+    seq = np.concatenate([rel_seq, rel_seq[dl_idx] + 1])
+    is_dl = np.concatenate(
+        [np.zeros(n_jobs, dtype=np.bool_), np.ones(dl_idx.size, dtype=np.bool_)]
+    )
+    job_of = np.concatenate([np.arange(n_jobs, dtype=np.int64), dl_idx])
+    order = np.lexsort((seq, prio, times))
+    ev_time = times[order]
+    ev_is_deadline = is_dl[order]
+    ev_job = job_of[order]
+    return _Lane(
+        scheduler_name=make_scheduler(scheduler_name, scale).name,
+        sched_kind=SCHEDULER_KINDS[scheduler_name],
+        horizon=horizon,
+        miss_drop=miss_drop,
+        capacity=storage.capacity,
+        initial_stored=storage.stored,
+        speeds=np.asarray([lv.speed for lv in scale.levels], dtype=np.float64),
+        powers=np.asarray([lv.power for lv in scale.levels], dtype=np.float64),
+        source=params,
+        jobs=jobs,
+        jrelease=jrelease,
+        jdeadline=jdeadline,
+        jwork=jwork,
+        jactual=jactual,
+        jtask=jtask,
+        task_names=task_names,
+        ev_time=ev_time,
+        ev_is_deadline=ev_is_deadline,
+        ev_job=ev_job,
+    )
+
+
+# -- the SoA core ---------------------------------------------------------
+
+
+class _BatchCore:
+    """Runs a set of covered lanes in lockstep.
+
+    Each main-loop pass executes one iteration of the scalar
+    ``HarvestingRtSimulator.run`` loop for every still-active lane; all
+    per-lane arithmetic mirrors the scalar statements cited inline.
+    Lanes that trip an internal guard (the vector twin of a scalar
+    ``raise``) are recorded in ``errors`` and excluded; the runner
+    re-executes them on the scalar path.
+    """
+
+    #: Matches SimulationConfig.max_iterations (the scalar bound).
+    MAX_ITERATIONS = 50_000_000
+
+    def __init__(self, lanes: Sequence[_Lane]) -> None:
+        self.lanes = list(lanes)
+        n = len(self.lanes)
+        self.n = n
+        self.errors: list[Optional[str]] = [None] * n
+        if n == 0:
+            return
+        n_levels = {lane.speeds.shape[0] for lane in self.lanes}
+        if len(n_levels) != 1:
+            raise UncoveredScenarioError(
+                "mixed frequency-scale sizes in one batch"
+            )
+        self.n_lev = n_levels.pop()
+        self.idx = np.arange(n)
+        self._inf = np.full(n, INFINITY)  # shared read-only +inf column
+        max_jobs = max(1, max(lane.n_jobs for lane in self.lanes))
+        max_ev = max(1, max(lane.ev_time.shape[0] for lane in self.lanes))
+        # -- static tables (padded; pads are inert: time=inf, rank=max) --
+        self.horizon = np.asarray([la.horizon for la in self.lanes])
+        self.miss_drop = np.asarray(
+            [la.miss_drop for la in self.lanes], dtype=np.bool_
+        )
+        self.kind = np.asarray(
+            [la.sched_kind for la in self.lanes], dtype=np.int64
+        )
+        self.capacity = np.asarray([la.capacity for la in self.lanes])
+        self.speeds = np.stack([la.speeds for la in self.lanes])
+        self.powers = np.stack([la.powers for la in self.lanes])
+        self.n_jobs = np.asarray(
+            [la.n_jobs for la in self.lanes], dtype=np.int64
+        )
+        self.jrelease = np.full((n, max_jobs), INFINITY)
+        self.jdeadline = np.full((n, max_jobs), INFINITY)
+        self.jrank = np.full((n, max_jobs), _NO_JOB, dtype=np.int64)
+        self.jremaining = np.zeros((n, max_jobs))
+        self.jremaining_actual = np.zeros((n, max_jobs))
+        for i, lane in enumerate(self.lanes):
+            k = lane.n_jobs
+            self.jrelease[i, :k] = lane.jrelease
+            self.jdeadline[i, :k] = lane.jdeadline
+            self.jremaining[i, :k] = lane.jwork
+            self.jremaining_actual[i, :k] = lane.jactual
+            if k:
+                # Static EDF rank: the ready queue pops by (deadline,
+                # release, push counter) and pushes in release-event
+                # order == job-index order, so the rank is the lexsort
+                # position of (deadline, release, index).
+                order = np.lexsort(
+                    (np.arange(k), self.jrelease[i, :k], self.jdeadline[i, :k])
+                )
+                self.jrank[i, order] = np.arange(k, dtype=np.int64)
+        self.ev_time = np.full((n, max_ev + 1), INFINITY)
+        self.ev_is_deadline = np.zeros((n, max_ev + 1), dtype=np.bool_)
+        self.ev_job = np.zeros((n, max_ev + 1), dtype=np.int64)
+        for i, lane in enumerate(self.lanes):
+            e = lane.ev_time.shape[0]
+            self.ev_time[i, :e] = lane.ev_time
+            self.ev_is_deadline[i, :e] = lane.ev_is_deadline
+            self.ev_job[i, :e] = lane.ev_job
+        # -- source tables ----------------------------------------------
+        self.src_kind = np.asarray(
+            [la.source.kind for la in self.lanes], dtype=np.int64
+        )
+        self.src_const = np.asarray(
+            [la.source.const_power for la in self.lanes]
+        )
+        self.src_quantum = np.asarray([la.source.quantum for la in self.lanes])
+        self.src_nq = np.asarray(
+            [la.source.quantized_powers.shape[0] for la in self.lanes],
+            dtype=np.int64,
+        )
+        max_q = max(1, int(self.src_nq.max()))
+        self.src_qpowers = np.zeros((n, max_q))
+        for i, lane in enumerate(self.lanes):
+            q = lane.source.quantized_powers
+            self.src_qpowers[i, : q.shape[0]] = q
+        self.src_day_power = np.asarray(
+            [la.source.day_power for la in self.lanes]
+        )
+        self.src_night_power = np.asarray(
+            [la.source.night_power for la in self.lanes]
+        )
+        self.src_day_length = np.asarray(
+            [la.source.day_length for la in self.lanes]
+        )
+        self.src_cycle = np.asarray([la.source.cycle for la in self.lanes])
+        self.src_phase = np.asarray([la.source.phase for la in self.lanes])
+        # Static source-kind masks and the constant-power base column:
+        # they never change during a run, so the per-pass source queries
+        # skip the kind comparisons entirely.
+        self._quant_mask = self.src_kind == _SRC_QUANTIZED
+        self._has_quant = bool(self._quant_mask.any())
+        self._day_mask = self.src_kind == _SRC_DAYNIGHT
+        self._has_day = bool(self._day_mask.any())
+        self._power_base = np.where(
+            self.src_kind == _SRC_CONST, self.src_const, 0.0
+        )
+        # -- dynamic state (one scalar simulator's fields, per lane) -----
+        self.t = np.zeros(n)
+        self.active = np.ones(n, dtype=np.bool_)
+        self.ev_ptr = np.zeros(n, dtype=np.int64)
+        # Cached ev_time[lane, ev_ptr[lane]] (refreshed on pointer moves).
+        self.next_ev = self.ev_time[self.idx, self.ev_ptr]
+        self.need_decision = np.ones(n, dtype=np.bool_)
+        self.has_decision = np.zeros(n, dtype=np.bool_)
+        self.dec_reconsider = np.full(n, INFINITY)
+        self.running = np.full(n, -1, dtype=np.int64)
+        self.level = np.full(n, -1, dtype=np.int64)
+        self.switch_at = np.full(n, np.nan)
+        self.stalled = np.zeros(n, dtype=np.bool_)
+        self.stalled_until = np.zeros(n)
+        self.stall_started = np.zeros(n)
+        self.stall_count = np.zeros(n, dtype=np.int64)
+        self.stall_time = np.zeros(n)
+        self.stored = np.asarray([la.initial_stored for la in self.lanes])
+        self.total_drawn = np.zeros(n)
+        self.total_overflow = np.zeros(n)
+        self.idle_time = np.zeros(n)
+        self.switch_count = np.zeros(n, dtype=np.int64)
+        self.busy = np.zeros((n, self.n_lev))
+        self.completed_count = np.zeros(n, dtype=np.int64)
+        self.missed_count = np.zeros(n, dtype=np.int64)
+        self.stagnant = np.zeros(n, dtype=np.int64)
+        self.jstate = np.full(
+            (n, max_jobs), _PENDING, dtype=np.int64
+        )
+        # Ready set as a rank table: _NO_JOB when a job is not ready,
+        # its static EDF rank otherwise, plus an incrementally maintained
+        # per-lane minimum (the EDF-earliest job).  Pushes can only
+        # improve the minimum; removing the minimum triggers a one-lane
+        # rescan — this keeps every decision pass O(lanes) instead of
+        # O(lanes * jobs).
+        self.jready_rank = np.full((n, max_jobs), _NO_JOB, dtype=np.int64)
+        self.best_rank = np.full(n, _NO_JOB, dtype=np.int64)
+        self.best_job = np.full(n, -1, dtype=np.int64)
+        self.jmiss_counted = np.zeros((n, max_jobs), dtype=np.bool_)
+        self.jenergy = np.zeros((n, max_jobs))
+        self.jfirst = np.full((n, max_jobs), np.nan)
+        self.jcompletion = np.full((n, max_jobs), np.nan)
+        self.harvested = np.zeros(n)
+
+    # -- ready-queue maintenance (EdfReadyQueue, incremental) -------------
+
+    def _ready_push(self, lanes: IntArray, jobs: IntArray) -> None:
+        """ready.push: record the rank and update the per-lane minimum."""
+        ranks = self.jrank[lanes, jobs]
+        self.jready_rank[lanes, jobs] = ranks
+        better = ranks < self.best_rank[lanes]
+        improved = lanes[better]
+        self.best_rank[improved] = ranks[better]
+        self.best_job[improved] = jobs[better]
+
+    def _ready_remove(self, lanes: IntArray, jobs: IntArray) -> None:
+        """ready.remove: rescan only the lanes that lost their minimum."""
+        self.jready_rank[lanes, jobs] = _NO_JOB
+        was_best = self.best_job[lanes] == jobs
+        rescan = lanes[was_best]
+        if rescan.shape[0]:
+            rows = self.jready_rank[rescan]
+            nxt = np.argmin(rows, axis=1)
+            ranks = rows[np.arange(rescan.shape[0]), nxt]
+            self.best_rank[rescan] = ranks
+            self.best_job[rescan] = np.where(ranks < _NO_JOB, nxt, -1)
+
+    # -- failure handling -------------------------------------------------
+
+    def _fail(self, lanes: IntArray, message: str) -> None:
+        for i in lanes.tolist():
+            if self.errors[i] is None:
+                self.errors[i] = message
+        self.active[lanes] = False
+
+    # -- vectorized source (mirrors repro.energy.source) ------------------
+
+    def _quant_index(self, t: FloatArray) -> IntArray:
+        """_QuantizedSource._index: max(0, floor((t + EPS) / quantum))."""
+        raw = np.floor((t + EPSILON) / self.src_quantum)
+        index: IntArray = np.maximum(0, raw.astype(np.int64))
+        return index
+
+    def _src_power(self, t: FloatArray) -> FloatArray:
+        out = self._power_base.copy()
+        if self._has_quant:
+            quant = self._quant_mask
+            index = self._quant_index(t)
+            over = quant & self.active & (index >= self.src_nq)
+            if over.any():
+                self._fail(np.flatnonzero(over), "solar power table exceeded")
+                quant = quant & ~over
+            safe = np.minimum(index, self.src_qpowers.shape[1] - 1)
+            out = np.where(quant, self.src_qpowers[self.idx, safe], out)
+        if self._has_day:
+            position = np.mod(t + self.src_phase + EPSILON, self.src_cycle)
+            out = np.where(
+                self._day_mask,
+                np.where(
+                    position < self.src_day_length,
+                    self.src_day_power,
+                    self.src_night_power,
+                ),
+                out,
+            )
+        return out
+
+    def _src_next_boundary(self, t: FloatArray) -> FloatArray:
+        out = self._inf.copy()
+        if self._has_quant:
+            index = self._quant_index(t)
+            out = np.where(
+                self._quant_mask,
+                (index + 1).astype(np.float64) * self.src_quantum,
+                out,
+            )
+        if self._has_day:
+            position = np.mod(t + self.src_phase + EPSILON, self.src_cycle)
+            in_day = position < self.src_day_length
+            out = np.where(
+                self._day_mask,
+                np.where(
+                    in_day,
+                    t + (self.src_day_length - position),
+                    t + (self.src_cycle - position),
+                ),
+                out,
+            )
+        return out
+
+    def _src_energy_lanes(
+        self, lanes: IntArray, t0: FloatArray, t1: FloatArray
+    ) -> FloatArray:
+        """EnergySource.energy over ``[t0, t1)`` for the listed lanes.
+
+        Constant lanes use the closed form ``P * max(0, t1 - t0)``; the
+        rest accumulate ``power(t) * (segment_end - t)`` segment by
+        segment, in the scalar's summation order, so the totals are
+        bit-equal to the scalar walk.  Inputs and output are compact
+        (one entry per listed lane).
+        """
+        kind = self.src_kind[lanes]
+        total = np.zeros(lanes.shape[0])
+        const = kind == _SRC_CONST
+        if const.any():
+            total[const] = self.src_const[lanes[const]] * np.maximum(
+                0.0, t1[const] - t0[const]
+            )
+        quant = kind == _SRC_QUANTIZED
+        if quant.any():
+            total[quant] = self._quantized_energy(
+                lanes[quant], t0[quant], t1[quant]
+            )
+        day = kind == _SRC_DAYNIGHT
+        if day.any():
+            total[day] = self._daynight_energy(
+                lanes[day], t0[day], t1[day]
+            )
+        return total
+
+    def _daynight_energy(
+        self, lanes: IntArray, t0: FloatArray, t1: FloatArray
+    ) -> FloatArray:
+        """The scalar boundary walk for day/night lanes (compact)."""
+        day_length = self.src_day_length[lanes]
+        cycle = self.src_cycle[lanes]
+        phase = self.src_phase[lanes]
+        day_power = self.src_day_power[lanes]
+        night_power = self.src_night_power[lanes]
+        total = np.zeros(lanes.shape[0])
+        t = t0.copy()
+        stepping = t < t1 - EPSILON
+        while stepping.any():
+            position = np.mod(t + phase + EPSILON, cycle)
+            in_day = position < day_length
+            boundary = np.where(
+                in_day, t + (day_length - position), t + (cycle - position)
+            )
+            seg_end = np.minimum(boundary, t1)
+            power = np.where(in_day, day_power, night_power)
+            total = np.where(stepping, total + power * (seg_end - t), total)
+            t = np.where(stepping, seg_end, t)
+            stepping = t < t1 - EPSILON
+        return total
+
+    def _quantized_energy(
+        self, lanes: IntArray, t0: FloatArray, t1: FloatArray
+    ) -> FloatArray:
+        """The boundary walk for quantized lanes, as 2-D blocks.
+
+        Every (lane, step) segment start, end and power is precomputed
+        with the exact per-step formulas of the scalar walk (step ``j``
+        starts at ``t0`` for ``j = 0`` and at the preceding boundary
+        ``(k0 + j) * quantum`` otherwise); the per-segment accumulation
+        runs as a row-wise ``np.cumsum``, which adds strictly
+        left-to-right and therefore rounds once per segment in walk
+        order, exactly like the scalar total (enforced by the kernel
+        property tests).
+        """
+        m = lanes.shape[0]
+        q = self.src_quantum[lanes]
+        k0 = np.maximum(0, np.floor((t0 + EPSILON) / q)).astype(np.int64)
+        spans = np.ceil((t1 - EPSILON) / q).astype(np.int64) - k0
+        n_steps = int(spans.max()) + 1 if m else 0
+        if n_steps <= 0:
+            return np.zeros(m)
+        steps = np.arange(n_steps, dtype=np.int64)
+        kk = k0[:, None] + steps[None, :]
+        kk_f = kk.astype(np.float64)
+        tstart = kk_f * q[:, None]
+        tstart[:, 0] = t0
+        boundary = (kk_f + 1.0) * q[:, None]
+        seg_end = np.minimum(boundary, t1[:, None])
+        live = tstart < (t1 - EPSILON)[:, None]
+        # The scalar walk re-derives each segment's quantum index from its
+        # start time; on this ladder that index IS ``kk`` (step ``j > 0``
+        # starts exactly at boundary ``kk * q``, step 0 at ``t0`` whose
+        # index is ``k0`` by definition), so the power lookup uses ``kk``
+        # directly.  The differential suite enforces the agreement.
+        width = self.src_qpowers.shape[1]
+        idx = np.minimum(kk, width - 1)
+        # Flat-index gather: same elements as the 2-D fancy index, ~2x
+        # faster on the row-block shapes this walk produces.
+        power = np.take(self.src_qpowers, lanes[:, None] * width + idx)
+        contribution = np.where(live, power * (seg_end - tstart), 0.0)
+        # np.cumsum accumulates strictly left-to-right (verified by the
+        # kernel property tests), i.e. it rounds once per segment in walk
+        # order exactly like the scalar total; masked segments add 0.0,
+        # which never perturbs a float64 accumulator.
+        final: FloatArray = np.cumsum(contribution, axis=1)[:, -1]
+        return final
+
+    # -- plan bookkeeping --------------------------------------------------
+
+    def _clear_plan(self, lanes: IntArray) -> None:
+        """Simulator._clear_plan (sets need_decision)."""
+        self._drop_plan(lanes)
+        self.need_decision[lanes] = True
+
+    def _drop_plan(self, lanes: IntArray) -> None:
+        """Plan teardown without a decision request (_enter_stall)."""
+        self.running[lanes] = -1
+        self.level[lanes] = -1  # set_level(None): idle switches are free
+        self.switch_at[lanes] = np.nan
+        self.has_decision[lanes] = False
+        self.dec_reconsider[lanes] = INFINITY
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        if self.n == 0:
+            return
+        iterations = 0
+        while self.active.any():
+            iterations += 1
+            if iterations > self.MAX_ITERATIONS:  # pragma: no cover - guard
+                self._fail(np.flatnonzero(self.active), "iteration cap")
+                break
+            self._process_due_events()
+            done = self.active & (self.t >= self.horizon - EPSILON)
+            if done.any():
+                self.active &= ~done
+                if not self.active.any():
+                    break
+            self._maybe_decide()
+            end, harvest, draw = self._segment_end()
+            duration = self._advance_to(end, harvest, draw)
+            self._post_segment()
+            advanced = duration > EPSILON
+            self.stagnant = np.where(advanced, 0, self.stagnant + 1)
+            stuck = self.active & (self.stagnant > 1000)
+            if stuck.any():
+                self._fail(np.flatnonzero(stuck), "stagnation guard")
+        # harvested_energy = source.energy(0, horizon) for every lane that
+        # finished cleanly (same walk as the scalar result builder).
+        finished = np.flatnonzero(
+            np.asarray([err is None for err in self.errors], dtype=np.bool_)
+        )
+        self.harvested = np.zeros(self.n)
+        self.harvested[finished] = self._src_energy_lanes(
+            finished, np.zeros(finished.shape[0]), self.horizon[finished]
+        )
+
+    def _process_due_events(self) -> None:
+        """Simulator._process_due_events: pop while peek <= t + EPSILON."""
+        while True:
+            due = self.active & (self.next_ev <= self.t + EPSILON)
+            if not due.any():
+                return
+            due_lanes = np.flatnonzero(due)
+            ptr = self.ev_ptr[due_lanes]
+            job = self.ev_job[due_lanes, ptr]
+            is_dl = self.ev_is_deadline[due_lanes, ptr]
+            lanes = due_lanes[~is_dl]
+            if lanes.shape[0]:
+                jj = job[~is_dl]
+                self.jstate[lanes, jj] = _READY  # mark_released
+                self._ready_push(lanes, jj)
+                self.need_decision[lanes] = True
+            lanes = due_lanes[is_dl]
+            if lanes.shape[0]:
+                jj = job[is_dl]
+                state = self.jstate[lanes, jj]
+                # _on_deadline: skip finished or already-counted jobs
+                judged = (
+                    (state != _COMPLETED)
+                    & (state != _MISSED)
+                    & ~self.jmiss_counted[lanes, jj]
+                )
+                lanes = lanes[judged]
+                jj = jj[judged]
+                self.jmiss_counted[lanes, jj] = True
+                self.missed_count[lanes] += 1
+                drop = self.miss_drop[lanes]
+                dl_lanes = lanes[drop]
+                dl_jobs = jj[drop]
+                self.jstate[dl_lanes, dl_jobs] = _MISSED  # mark_missed
+                self._ready_remove(dl_lanes, dl_jobs)
+                was_running = self.running[dl_lanes] == dl_jobs
+                self._clear_plan(dl_lanes[was_running])
+                self.need_decision[dl_lanes] = True
+                # CONTINUE: only the count changes.
+            moved = ptr + 1
+            self.ev_ptr[due_lanes] = moved
+            self.next_ev[due_lanes] = self.ev_time[due_lanes, moved]
+
+    def _maybe_decide(self) -> None:
+        """Simulator._maybe_decide + scheduler.decide + _apply_decision."""
+        deciding = self.active & ~self.stalled & self.need_decision
+        if not deciding.any():
+            return
+        self.need_decision[deciding] = False
+        lanes = np.flatnonzero(deciding)
+        # EdfReadyQueue.peek: min (deadline, release, counter) == the
+        # incrementally maintained per-lane minimum static rank.
+        has_job = self.best_rank[lanes] < _NO_JOB
+        # Decision.idle() for empty queues.
+        if not has_job.all():
+            self._apply_idle(lanes[~has_job], self._inf)
+        lanes = lanes[has_job]
+        if lanes.shape[0] == 0:
+            return
+        job = self.best_job[lanes]
+        now = self.t[lanes]
+        deadline = self.jdeadline[lanes, job]
+        work = self.jremaining[lanes, job]
+        stored = self.stored[lanes]
+        # EnergyOutlook.available_until(now, deadline); the oracle
+        # predictor integrates the source over [now, deadline).
+        deadline_passed = batch_time_le(deadline, now)
+        needs_energy = ~deadline_passed & (self.kind[lanes] != SCHED_EDF)
+        predicted = np.zeros(lanes.shape[0])
+        if needs_energy.any():
+            predicted[needs_energy] = self._src_energy_lanes(
+                lanes[needs_energy],
+                now[needs_energy],
+                deadline[needs_energy],
+            )
+        available = np.where(deadline_passed, stored, stored + predicted)
+        storage_full = stored >= self.capacity[lanes] - EPSILON  # is_full
+        decision = batch_decide(
+            self.kind[lanes],
+            now,
+            deadline,
+            work,
+            available,
+            storage_full,
+            self.speeds[lanes],
+            self.powers[lanes],
+        )
+        idle = ~decision.run
+        if idle.any():
+            reconsider = np.full(self.n, INFINITY)
+            reconsider[lanes] = decision.reconsider_at
+            self._apply_idle(lanes[idle], reconsider)
+        run_lanes = lanes[~idle]
+        if run_lanes.shape[0] == 0:
+            return
+        run_jobs = job[~idle]
+        new_level = decision.level[~idle]
+        # note_started (idempotent first dispatch)
+        fresh = np.isnan(self.jfirst[run_lanes, run_jobs])
+        self.jfirst[run_lanes[fresh], run_jobs[fresh]] = self.t[
+            run_lanes[fresh]
+        ]
+        self.running[run_lanes] = run_jobs
+        self.switch_at[run_lanes] = decision.switch_at[~idle]
+        # _set_processor_level: a switch is counted only between two real
+        # levels with different speeds (distinct indices here — covered
+        # scales have speed gaps far above EPSILON).
+        old_level = self.level[run_lanes]
+        switched = (old_level >= 0) & (old_level != new_level)
+        self.switch_count[run_lanes[switched]] += 1
+        self.level[run_lanes] = new_level
+        self.has_decision[run_lanes] = True
+        self.dec_reconsider[run_lanes] = decision.reconsider_at[~idle]
+
+    def _apply_idle(self, lanes: IntArray, reconsider: FloatArray) -> None:
+        """_apply_decision for Decision.idle(reconsider_at=...)."""
+        if lanes.shape[0] == 0:
+            return
+        self.running[lanes] = -1
+        self.level[lanes] = -1
+        self.switch_at[lanes] = np.nan
+        self.has_decision[lanes] = True
+        self.dec_reconsider[lanes] = reconsider[lanes]
+
+    def _segment_end(self) -> tuple[FloatArray, FloatArray, FloatArray]:
+        """Simulator._segment_end, element-wise (same min-cascade order).
+
+        The cascade uses masked in-place ``np.minimum(..., where=...)``
+        updates — each candidate still enters the running minimum with a
+        single rounding-free comparison, exactly like the scalar chain
+        of ``min()`` calls, just with fewer temporaries.
+        """
+        t = self.t
+        end = np.minimum(self.horizon, self.next_ev)
+        np.minimum(end, self._src_next_boundary(t), out=end)
+        running = self.running >= 0
+        level = np.maximum(self.level, 0)
+        job = np.maximum(self.running, 0)
+        np.minimum(end, self.stalled_until, out=end, where=self.stalled)
+        idle_reconsider = ~self.stalled & ~running & self.has_decision
+        np.minimum(end, self.dec_reconsider, out=end, where=idle_reconsider)
+        # Running: completion instant (no switching dead time in covered
+        # scenarios), planned speed-up, reconsider.
+        speed = np.maximum(self.speeds[self.idx, level], 1e-12)
+        completion = t + self.jremaining_actual[self.idx, job] / speed
+        np.minimum(end, completion, out=end, where=running)
+        planned = running & ~np.isnan(self.switch_at)
+        np.minimum(end, self.switch_at, out=end, where=planned)
+        np.minimum(end, self.dec_reconsider, out=end, where=running)
+        harvest = self._src_power(t)
+        draw = np.where(running, self.powers[self.idx, level], 0.0)
+        # storage.time_to_empty(harvest, draw): infinite unless the net
+        # rate is below -EPSILON (the masked divide leaves +inf there).
+        rate = harvest - draw
+        draining = rate < -EPSILON
+        time_to_empty = np.full(self.n, INFINITY)
+        np.divide(self.stored, -rate, out=time_to_empty, where=draining)
+        np.maximum(time_to_empty, 0.0, out=time_to_empty)
+        empty_at = t + time_to_empty
+        cut = empty_at < end - EPSILON
+        end[cut] = empty_at[cut]
+        np.maximum(end, t, out=end)
+        return end, harvest, draw
+
+    def _advance_to(
+        self, end: FloatArray, harvest: FloatArray, draw: FloatArray
+    ) -> FloatArray:
+        """Simulator._advance_to: storage/processor/job accounting."""
+        duration = np.maximum(0.0, end - self.t)
+        moving = self.active & (duration > 0.0)  # repro-lint: disable=RPR101 -- exact scalar gate mirror
+        if moving.any():
+            lanes = np.flatnonzero(moving)
+            span = duration[lanes]
+            inflow = harvest[lanes]
+            outflow = draw[lanes]
+            # IdealStorage._advance_finite (+ _saturate)
+            proposed = self.stored[lanes] + (inflow - outflow) * span
+            negative = proposed < 0.0
+            impossible = negative & (
+                proposed
+                < -1e-6 * np.maximum(1.0, np.abs(self.stored[lanes]))
+            )
+            if impossible.any():
+                self._fail(lanes[impossible], "storage drained below zero")
+            proposed = np.where(negative, 0.0, proposed)
+            cap = self.capacity[lanes]
+            overflow = np.where(proposed > cap, proposed - cap, 0.0)
+            self.stored[lanes] = np.where(proposed > cap, cap, proposed)
+            self.total_drawn[lanes] += outflow * span
+            self.total_overflow[lanes] += overflow
+            # Processor.account_time
+            running = self.running[lanes] >= 0
+            busy_lanes = lanes[running]
+            self.busy[busy_lanes, self.level[busy_lanes]] += span[running]
+            self.idle_time[lanes[~running]] += span[~running]
+            # Job.execute at the current level (dead time never occurs:
+            # switching overhead is zero in covered scenarios)
+            if busy_lanes.shape[0]:
+                jobs = self.running[busy_lanes]
+                levels = self.level[busy_lanes]
+                speed = self.speeds[busy_lanes, levels]
+                work = speed * span[running]
+                actual = self.jremaining_actual[busy_lanes, jobs]
+                overrun = work > actual + EPSILON
+                if overrun.any():  # pragma: no cover - defensive guard
+                    self._fail(busy_lanes[overrun], "job budget overrun")
+                remaining = actual - work
+                below = remaining < -1e-6  # snap_nonnegative(…, eps=1e-6)
+                if below.any():  # pragma: no cover - defensive guard
+                    self._fail(busy_lanes[below], "negative residual work")
+                self.jremaining_actual[busy_lanes, jobs] = np.where(
+                    remaining < 0.0, 0.0, remaining
+                )
+                self.jremaining[busy_lanes, jobs] = np.maximum(
+                    0.0, self.jremaining[busy_lanes, jobs] - work
+                )
+                self.jenergy[busy_lanes, jobs] += (
+                    self.powers[busy_lanes, levels] * span[running]
+                )
+            self.t = np.where(moving, end, self.t)
+        return duration
+
+    def _post_segment(self) -> None:
+        """Simulator._post_segment: the cascade of masked early returns."""
+        t = self.t
+        harvest = self._src_power(t)
+        # stall expiry
+        expired = (
+            self.active
+            & self.stalled
+            & (t >= self.stalled_until - EPSILON)
+        )
+        if expired.any():
+            lanes = np.flatnonzero(expired)
+            self.stalled[lanes] = False
+            self.stall_time[lanes] += t[lanes] - self.stall_started[lanes]
+            self.need_decision[lanes] = True
+        was_running = self.active & (self.running >= 0)
+        lanes = np.flatnonzero(was_running)
+        if lanes.shape[0]:
+            jobs = self.running[lanes]
+            levels = self.level[lanes]
+            # completion: residual true work below the 1e-7 threshold
+            completed = self.jremaining_actual[lanes, jobs] <= 1e-7
+            if completed.any():
+                done_lanes = lanes[completed]
+                done_jobs = jobs[completed]
+                self.jremaining_actual[done_lanes, done_jobs] = 0.0
+                self.jstate[done_lanes, done_jobs] = _COMPLETED
+                self.jcompletion[done_lanes, done_jobs] = t[done_lanes]
+                self._ready_remove(done_lanes, done_jobs)
+                self.completed_count[done_lanes] += 1
+                self._clear_plan(done_lanes)
+            lanes = lanes[~completed]
+            jobs = jobs[~completed]
+            levels = levels[~completed]
+            # depletion: empty storage and negative net flow -> stall
+            depleted = (self.stored[lanes] <= EPSILON) & (
+                (harvest[lanes] - self.powers[lanes, levels]) < -EPSILON
+            )
+            if depleted.any():
+                stall_lanes = lanes[depleted]
+                # _enter_stall: retry at the next source boundary or after
+                # the (default 1.0) retry interval, whichever is sooner.
+                resume = np.minimum(
+                    self._src_next_boundary(t)[stall_lanes],
+                    t[stall_lanes] + 1.0,
+                )
+                self.stall_count[stall_lanes] += 1
+                self.stall_started[stall_lanes] = t[stall_lanes]
+                self.stalled[stall_lanes] = True
+                self.stalled_until[stall_lanes] = resume
+                self._drop_plan(stall_lanes)
+            lanes = lanes[~depleted]
+            # planned speed-up reached
+            reached = ~np.isnan(self.switch_at[lanes]) & (
+                t[lanes] >= self.switch_at[lanes] - EPSILON
+            )
+            if reached.any():
+                up_lanes = lanes[reached]
+                self.switch_at[up_lanes] = np.nan
+                max_level = self.n_lev - 1
+                self.switch_count[
+                    up_lanes[self.level[up_lanes] != max_level]
+                ] += 1
+                self.level[up_lanes] = max_level
+            # reconsider instant reached while running
+            revisit = self.has_decision[lanes] & (
+                t[lanes] >= self.dec_reconsider[lanes] - EPSILON
+            )
+            self.need_decision[lanes[revisit]] = True
+        # idle branch (running was None at entry to _post_segment)
+        idle = self.active & ~was_running
+        lanes = np.flatnonzero(idle)
+        if lanes.shape[0]:
+            revisit = self.has_decision[lanes] & (
+                t[lanes] >= self.dec_reconsider[lanes] - EPSILON
+            )
+            self.need_decision[lanes[revisit]] = True
+            ready = self.best_rank[lanes] < _NO_JOB
+            wake = ready & ~self.stalled[lanes]
+            self.need_decision[lanes[wake]] = True
+
+    # -- result extraction -------------------------------------------------
+
+    def result(self, i: int, include_jobs: bool = True) -> SimulationResult:
+        """Rebuild the lane's SimulationResult (mirrors _build_result).
+
+        ``include_jobs=False`` skips the per-job state writeback and
+        returns a slim result (``jobs=()``), which is what sweeps keep
+        anyway; equivalence harnesses want the full job tuple.
+        """
+        lane = self.lanes[i]
+        if self.errors[i] is not None:
+            raise RuntimeError(
+                f"lane {i} failed in the batch core: {self.errors[i]}"
+            )
+        if include_jobs:
+            if lane.jobs is None:
+                raise RuntimeError(
+                    "lane was built without Job objects (slim sweep path)"
+                )
+            for k, job in enumerate(lane.jobs):
+                job._state = _JOB_STATES[int(self.jstate[i, k])]
+                job._remaining = float(self.jremaining[i, k])
+                job._remaining_actual = float(self.jremaining_actual[i, k])
+                job._energy_consumed = float(self.jenergy[i, k])
+                first = self.jfirst[i, k]
+                job._first_start_time = (
+                    None if math.isnan(first) else float(first)
+                )
+                done = self.jcompletion[i, k]
+                job._completion_time = (
+                    None if math.isnan(done) else float(done)
+                )
+        n_tasks = len(lane.task_names)
+        released = np.bincount(lane.jtask, minlength=n_tasks)
+        per_task_released = {
+            name: int(count)
+            for name, count in zip(lane.task_names, released)
+            if count
+        }
+        missed_jobs = np.flatnonzero(self.jmiss_counted[i, : lane.n_jobs])
+        missed = np.bincount(lane.jtask[missed_jobs], minlength=n_tasks)
+        per_task_missed = {
+            name: int(count)
+            for name, count in zip(lane.task_names, missed)
+            if count
+        }
+        judged = int(np.sum(lane.jdeadline <= lane.horizon + EPSILON))
+        busy_profile = {
+            float(lane.speeds[lv]): float(self.busy[i, lv])
+            for lv in range(self.n_lev)
+        }
+        return SimulationResult(
+            scheduler_name=lane.scheduler_name,
+            horizon=lane.horizon,
+            jobs=tuple(lane.jobs) if include_jobs and lane.jobs else (),
+            released_count=lane.n_jobs,
+            completed_count=int(self.completed_count[i]),
+            missed_count=int(self.missed_count[i]),
+            judged_count=judged,
+            harvested_energy=float(self.harvested[i]),
+            drawn_energy=float(self.total_drawn[i]),
+            overflow_energy=float(self.total_overflow[i]),
+            leaked_energy=0.0,
+            final_stored=float(self.stored[i]),
+            storage_capacity=lane.capacity,
+            busy_time_profile=busy_profile,
+            idle_time=float(self.idle_time[i]),
+            switch_count=int(self.switch_count[i]),
+            stall_count=int(self.stall_count[i]),
+            stall_time=float(self.stall_time[i]),
+            per_task_released=per_task_released,
+            per_task_missed=per_task_missed,
+        )
+
+
+# -- coverage probes ------------------------------------------------------
+
+
+def scenario_fallback_reason(
+    spec: "ScenarioSpec", scheduler_name: str
+) -> Optional[str]:
+    """Why this (spec, scheduler) pair needs the scalar engine, or None."""
+    if scheduler_name not in SCHEDULER_KINDS:
+        return f"scheduler {scheduler_name!r} not vectorized"
+    if spec.faults.any_active:
+        return "fault plan active"
+    # EDF never queries the energy outlook, so its results are identical
+    # under every predictor; the other policies need the oracle.
+    if scheduler_name != "edf" and spec.predictor_kind != "oracle":
+        return f"predictor {spec.predictor_kind!r} not vectorized"
+    if not math.isfinite(spec.capacity):
+        return "infinite storage"
+    return None
+
+
+def runspec_fallback_reason(spec: "RunSpec") -> Optional[str]:
+    """Why this sweep cell needs the scalar engine, or None."""
+    if spec.scheduler_name not in SCHEDULER_KINDS:
+        return f"scheduler {spec.scheduler_name!r} not vectorized"
+    if (
+        spec.scheduler_name != "edf"
+        and spec.setup.predictor_kind != "oracle"
+    ):
+        return f"predictor {spec.setup.predictor_kind!r} not vectorized"
+    if spec.energy_sample_interval is not None:
+        return "energy sampling requested"
+    if not math.isfinite(spec.capacity):
+        return "infinite storage"
+    return None
+
+
+# -- front-ends -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Results of one batch run, in input order, with fallback accounting.
+
+    ``fallbacks`` counts entries that ran on the scalar engine (shape
+    not covered, or evicted from the core by an internal guard);
+    ``fallback_reasons`` histograms the reasons.
+    """
+
+    results: tuple[SimulationResult, ...]
+    fallbacks: int
+    fallback_reasons: dict[str, int]
+
+
+class BatchRunner:
+    """Front-end routing work through the SoA core with scalar fallback.
+
+    The runner is stateless; it exists to give sweeps and experiments a
+    single object to hold (mirroring how they hold a ``PaperSetup``)
+    and to keep the fallback policy in one place.
+    """
+
+    def run_scenarios(
+        self, specs: Sequence["ScenarioSpec"], scheduler_name: str
+    ) -> BatchOutcome:
+        """Run every spec under ``scheduler_name``; scalar where uncovered."""
+        n = len(specs)
+        results: list[Optional[SimulationResult]] = [None] * n
+        reasons: dict[str, int] = {}
+        batch_indices: list[int] = []
+        lanes: list[_Lane] = []
+        for i, spec in enumerate(specs):
+            reason = scenario_fallback_reason(spec, scheduler_name)
+            if reason is None:
+                try:
+                    lanes.append(_scenario_lane(spec, scheduler_name))
+                    batch_indices.append(i)
+                    continue
+                except UncoveredScenarioError as exc:
+                    reason = str(exc)
+            reasons[reason] = reasons.get(reason, 0) + 1
+            results[i] = spec.run(scheduler_name)
+        core = _BatchCore(lanes)
+        core.run()
+        for pos, i in enumerate(batch_indices):
+            if core.errors[pos] is None:
+                results[i] = core.result(pos)
+            else:
+                reason = f"batch core: {core.errors[pos]}"
+                reasons[reason] = reasons.get(reason, 0) + 1
+                results[i] = specs[i].run(scheduler_name)
+        final = tuple(r for r in results if r is not None)
+        assert len(final) == n
+        return BatchOutcome(
+            results=final,
+            fallbacks=sum(reasons.values()),
+            fallback_reasons=reasons,
+        )
+
+    def run_specs(
+        self, specs: Sequence["RunSpec"], slim: bool = True
+    ) -> tuple[list[Union[SimulationResult, "RunFailure"]], dict[str, int]]:
+        """Execute sweep cells; returns (outcomes, fallback histogram).
+
+        The scalar fallback (and any error, batch or scalar) is captured
+        as a :class:`~repro.analysis.parallel.RunFailure` so the
+        supervisor can journal it exactly like a pooled failure.
+        """
+        import dataclasses
+
+        n = len(specs)
+        outcomes: list[Optional[Union[SimulationResult, "RunFailure"]]] = (
+            [None] * n
+        )
+        reasons: dict[str, int] = {}
+        batch_indices: list[int] = []
+        lanes: list[_Lane] = []
+        for i, spec in enumerate(specs):
+            reason = runspec_fallback_reason(spec)
+            if reason is None:
+                try:
+                    lanes.append(_runspec_lane(spec, slim=slim))
+                    batch_indices.append(i)
+                    continue
+                except UncoveredScenarioError as exc:
+                    reason = str(exc)
+                except Exception as exc:  # setup error: report as failure
+                    outcomes[i] = _capture_failure(spec, exc)
+                    continue
+            reasons[reason] = reasons.get(reason, 0) + 1
+            outcomes[i] = _scalar_cell(spec)
+        core = _BatchCore(lanes)
+        core.run()
+        for pos, i in enumerate(batch_indices):
+            if core.errors[pos] is None:
+                outcomes[i] = core.result(pos, include_jobs=not slim)
+            else:
+                reason = f"batch core: {core.errors[pos]}"
+                reasons[reason] = reasons.get(reason, 0) + 1
+                outcomes[i] = _scalar_cell(specs[i])
+        final: list[Union[SimulationResult, "RunFailure"]] = []
+        for outcome in outcomes:
+            assert outcome is not None
+            if slim and isinstance(outcome, SimulationResult):
+                outcome = dataclasses.replace(outcome, jobs=())
+            final.append(outcome)
+        return final, reasons
+
+
+def _scenario_lane(spec: "ScenarioSpec", scheduler_name: str) -> _Lane:
+    """A lane replaying ScenarioSpec.build_simulator's setup exactly."""
+    rng = (
+        np.random.default_rng(spec.aet_seed)
+        if spec.aet_seed is not None
+        else None
+    )
+    taskset = spec.build_taskset()
+    return _build_lane(
+        scheduler_name=scheduler_name,
+        scale=spec.scale(),
+        jobs=taskset.jobs(spec.horizon, rng),
+        source=spec.build_source(),
+        storage=spec.build_storage(),
+        horizon=spec.horizon,
+        miss_drop=spec.miss_policy == "drop",
+    )
+
+
+def _runspec_lane(spec: "RunSpec", slim: bool = True) -> _Lane:
+    """A lane replaying PaperSetup.run's setup exactly (no aet sampling).
+
+    Slim lanes take the array-only job path for all-periodic sets —
+    no ``Job`` objects are created, which is the setup hot spot on big
+    sweeps; such lanes cannot serve ``result(include_jobs=True)``.
+    """
+    setup = spec.setup
+    taskset = setup.taskset(spec.seed, spec.utilization)
+    if slim:
+        arrays = _periodic_job_arrays(taskset, setup.horizon)
+        if arrays is not None:
+            jrelease, jdeadline, jwork, jtask, task_names = arrays
+            return _assemble_lane(
+                scheduler_name=spec.scheduler_name,
+                scale=setup.scale(),
+                source=setup.source(spec.seed),
+                storage=IdealStorage(capacity=spec.capacity),
+                horizon=setup.horizon,
+                miss_drop=True,
+                jrelease=jrelease,
+                jdeadline=jdeadline,
+                jwork=jwork,
+                jactual=jwork.copy(),  # rng=None: actual == WCET
+                jtask=jtask,
+                task_names=task_names,
+                jobs=None,
+            )
+    return _build_lane(
+        scheduler_name=spec.scheduler_name,
+        scale=setup.scale(),
+        jobs=taskset.jobs(setup.horizon, None),
+        source=setup.source(spec.seed),
+        storage=IdealStorage(capacity=spec.capacity),
+        horizon=setup.horizon,
+        miss_drop=True,  # SimulationConfig default (PaperSetup passes none)
+    )
+
+
+def _periodic_job_arrays(
+    taskset: "TaskSet", horizon: float
+) -> Optional[tuple[FloatArray, FloatArray, FloatArray, IntArray, list[str]]]:
+    """Vectorized ``TaskSet.jobs(horizon, None)`` for all-periodic sets.
+
+    Mirrors the scalar generator arithmetic exactly: releases are
+    ``first_release + k * period`` (one multiply, one add, like the
+    scalar loop), cut strictly below ``horizon - EPSILON``, deadlines are
+    ``release + relative_deadline``, and the final order is the stable
+    ``(release, deadline, task name)`` sort (``np.lexsort`` is stable,
+    like ``list.sort``).  Returns ``(release, deadline, wcet, task index,
+    task names)`` or ``None`` when a task is not a plain
+    :class:`~repro.tasks.task.PeriodicTask` (callers then fall back to
+    building real ``Job`` objects).  Only valid for ``rng=None`` job
+    generation — actual demand equals the WCET.
+    """
+    # Subclasses (e.g. repro.faults.OverrunWorkload) may override jobs()
+    # even though they iterate plain periodic tasks — only the exact
+    # base class is safe to replay arithmetically.
+    if type(taskset) is not TaskSet:
+        return None
+    tasks = list(taskset)
+    if any(type(task) is not PeriodicTask for task in tasks):
+        return None
+    task_names = [task.name for task in tasks]
+    name_rank_of = {name: r for r, name in enumerate(sorted(task_names))}
+    limit = horizon - EPSILON
+    rel_parts: list[FloatArray] = []
+    dl_parts: list[FloatArray] = []
+    wcet_parts: list[FloatArray] = []
+    task_parts: list[IntArray] = []
+    rank_parts: list[IntArray] = []
+    for ti, task in enumerate(tasks):
+        first = task.first_release
+        period = task.period
+        if first >= limit:
+            continue
+        bound = int(math.ceil((limit - first) / period)) + 2
+        rel = first + np.arange(bound, dtype=np.int64) * period
+        rel = rel[rel < limit]
+        count = int(rel.shape[0])
+        rel_parts.append(rel)
+        dl_parts.append(rel + task.relative_deadline)
+        wcet_parts.append(np.full(count, task.wcet))
+        task_parts.append(np.full(count, ti, dtype=np.int64))
+        rank_parts.append(
+            np.full(count, name_rank_of[task.name], dtype=np.int64)
+        )
+    if not rel_parts:
+        empty = np.zeros(0)
+        return empty, empty.copy(), empty.copy(), np.zeros(
+            0, dtype=np.int64
+        ), task_names
+    jrelease = np.concatenate(rel_parts)
+    jdeadline = np.concatenate(dl_parts)
+    jwork = np.concatenate(wcet_parts)
+    jtask = np.concatenate(task_parts)
+    name_rank = np.concatenate(rank_parts)
+    perm = np.lexsort((name_rank, jdeadline, jrelease))
+    return (
+        jrelease[perm],
+        jdeadline[perm],
+        jwork[perm],
+        jtask[perm],
+        task_names,
+    )
+
+
+def _scalar_cell(
+    spec: "RunSpec",
+) -> Union[SimulationResult, "RunFailure"]:
+    """One scalar sweep cell, errors captured as a RunFailure."""
+    try:
+        return spec.setup.run(
+            spec.scheduler_name,
+            spec.utilization,
+            spec.capacity,
+            spec.seed,
+            spec.energy_sample_interval,
+        )
+    except Exception as exc:
+        return _capture_failure(spec, exc)
+
+
+def _capture_failure(spec: "RunSpec", exc: Exception) -> "RunFailure":
+    import traceback as tb
+
+    from repro.analysis.parallel import RunFailure
+
+    return RunFailure(
+        spec=spec,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        attempts=1,
+        traceback="".join(
+            tb.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    )
+
+
+_DEFAULT_RUNNER = BatchRunner()
+
+
+def run_scenario_batch(
+    specs: Sequence["ScenarioSpec"], scheduler_name: str
+) -> BatchOutcome:
+    """Module-level shorthand for :meth:`BatchRunner.run_scenarios`."""
+    return _DEFAULT_RUNNER.run_scenarios(specs, scheduler_name)
+
+
+def execute_runspecs(
+    specs: Sequence["RunSpec"], slim: bool = True
+) -> tuple[list[Union[SimulationResult, "RunFailure"]], dict[str, int]]:
+    """Module-level shorthand for :meth:`BatchRunner.run_specs`."""
+    return _DEFAULT_RUNNER.run_specs(specs, slim=slim)

@@ -86,6 +86,7 @@ class ScheduledEvent:
     payload: Any = None
     callback: Optional[Callable[["ScheduledEvent"], None]] = None
     cancelled: bool = field(default=False, compare=False)
+    dispatched: bool = field(default=False, compare=False)
 
     def sort_key(self) -> tuple[float, int, int]:
         return (self.time, self.priority, self.sequence)
@@ -176,8 +177,14 @@ class EventQueue:
         return self.schedule(self.now + delay, kind, payload, priority, callback)
 
     def cancel(self, event: ScheduledEvent) -> None:
-        """Cancel a previously scheduled event (idempotent)."""
-        if not event.cancelled:
+        """Cancel a previously scheduled event (idempotent).
+
+        Cancelling an event that was already popped is a no-op: the heap
+        no longer holds it, so decrementing ``_live`` for it would make
+        the queue under-count its remaining live events (``__len__`` and
+        ``run`` would then stop early with real events still queued).
+        """
+        if not event.cancelled and not event.dispatched:
             event.cancel()
             self._live -= 1
 
@@ -208,6 +215,7 @@ class EventQueue:
         if not self._heap:
             raise IndexError("pop from an empty event queue")
         event = heapq.heappop(self._heap)
+        event.dispatched = True
         self._live -= 1
         self._processed += 1
         self._clock.advance_to(event.time)

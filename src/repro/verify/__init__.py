@@ -10,6 +10,8 @@ individual outputs:
   reproducible from a single integer seed;
 * :mod:`repro.verify.differential` — the N-scenario differential sweep
   behind ``repro verify``;
+* :mod:`repro.verify.batch_equivalence` — the scalar-vs-vectorized
+  engine comparison behind ``repro verify --batch``;
 * :mod:`repro.verify.golden` — the golden-trace regression store under
   ``tests/golden/``;
 * :mod:`repro.verify.strategies` — shared Hypothesis strategies
@@ -18,6 +20,10 @@ individual outputs:
 See ``docs/testing.md`` for the full testing story.
 """
 
+from repro.verify.batch_equivalence import (
+    BatchEquivalenceReport,
+    run_batch_equivalence,
+)
 from repro.verify.differential import (
     CHECK_NAMES,
     DifferentialReport,
@@ -51,6 +57,7 @@ from repro.verify.scenarios import (
 )
 
 __all__ = [
+    "BatchEquivalenceReport",
     "CHECK_NAMES",
     "DifferentialReport",
     "Discrepancy",
@@ -72,6 +79,7 @@ __all__ = [
     "expected_lazy_decision",
     "random_scenario",
     "recompute_plan",
+    "run_batch_equivalence",
     "run_differential",
     "run_scenario_checks",
 ]

@@ -1,0 +1,225 @@
+"""Differential equivalence of the vectorized batch engine vs scalar.
+
+:func:`run_batch_equivalence` draws N reproducible worlds with
+:func:`repro.verify.scenarios.random_scenario`, runs every (world,
+scheduler) cell once through :func:`repro.sim.batch.run_scenario_batch`
+and once through the reference scalar simulator, and asserts:
+
+* **bit-exact counters** — released/judged/missed/completed counts,
+  switch and stall counts, and the per-task tallies must be *identical*
+  (the batch core performs the same float comparisons in the same order
+  as the scalar loop, so deadline decisions cannot legitimately differ);
+* **eps-equal trajectories** — energy aggregates, busy-time profile and
+  per-job timelines are compared at a documented ``1e-9`` absolute /
+  relative tolerance (see ``docs/batch-simulation.md``; in practice the
+  engines agree bit-for-bit, the tolerance only guards the contract);
+* **fallback plumbing** — cells the batch engine hands back to the
+  scalar path (faulted worlds, uncovered predictors, infinite storage)
+  still round-trip through the front-end and are tallied.
+
+Failures reuse the :class:`~repro.verify.differential.Discrepancy` /
+report machinery, so the smallest failing scenario seed is surfaced as
+the minimal reproduction handle exactly like the oracle battery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.batch import run_scenario_batch
+from repro.sim.simulator import SimulationResult
+from repro.verify.differential import DifferentialReport, Discrepancy
+from repro.verify.oracles import compare_schedules
+from repro.verify.scenarios import ScenarioSpec, random_scenario
+
+__all__ = [
+    "BATCH_CHECKED_SCHEDULERS",
+    "BatchEquivalenceReport",
+    "compare_results",
+    "run_batch_equivalence",
+]
+
+#: Scheduler policies with a vectorized kernel (every registry policy
+#: the batch engine claims to cover — uncovered names are a fallback,
+#: not a comparison).
+BATCH_CHECKED_SCHEDULERS: tuple[str, ...] = (
+    "edf",
+    "lsa",
+    "ea-dvfs",
+    "ea-dvfs-noslowdown",
+)
+
+#: Integer counters that must match bit-exactly between engines.
+_EXACT_FIELDS: tuple[str, ...] = (
+    "released_count",
+    "completed_count",
+    "missed_count",
+    "judged_count",
+    "switch_count",
+    "stall_count",
+)
+
+#: Float aggregates compared at the documented tolerance.
+_CLOSE_FIELDS: tuple[str, ...] = (
+    "harvested_energy",
+    "drawn_energy",
+    "overflow_energy",
+    "leaked_energy",
+    "final_stored",
+    "idle_time",
+    "stall_time",
+)
+
+
+def _close(a: float, b: float, atol: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return False
+    if a == b:  # repro-lint: disable=RPR101 -- fast path incl. infinities
+        return True
+    return abs(a - b) <= max(atol, atol * max(abs(a), abs(b)))
+
+
+def compare_results(
+    scalar: SimulationResult,
+    batch: SimulationResult,
+    atol: float = 1e-9,
+) -> list[str]:
+    """All divergences between a scalar and a batch run of one world.
+
+    Counters and per-task tallies are required identical; energies and
+    times are required ``atol``-close (absolute and relative).  The
+    ``trace`` field is ignored — traces compare by identity and carry no
+    measured quantities.
+    """
+    problems: list[str] = []
+    for name in _EXACT_FIELDS:
+        a, b = getattr(scalar, name), getattr(batch, name)
+        if a != b:
+            problems.append(f"{name}: scalar {a!r} != batch {b!r}")
+    for name in _CLOSE_FIELDS:
+        a, b = getattr(scalar, name), getattr(batch, name)
+        if not _close(a, b, atol):
+            problems.append(f"{name}: scalar {a!r} != batch {b!r}")
+    if scalar.per_task_released != batch.per_task_released:
+        problems.append(
+            f"per_task_released: scalar {scalar.per_task_released!r} != "
+            f"batch {batch.per_task_released!r}"
+        )
+    if scalar.per_task_missed != batch.per_task_missed:
+        problems.append(
+            f"per_task_missed: scalar {scalar.per_task_missed!r} != "
+            f"batch {batch.per_task_missed!r}"
+        )
+    profile_a, profile_b = scalar.busy_time_profile, batch.busy_time_profile
+    speeds = sorted(set(profile_a) | set(profile_b))
+    for speed in speeds:
+        a = profile_a.get(speed, 0.0)
+        b = profile_b.get(speed, 0.0)
+        if not _close(a, b, atol):
+            problems.append(
+                f"busy_time_profile[{speed:g}]: scalar {a!r} != batch {b!r}"
+            )
+    if scalar.jobs and batch.jobs:
+        problems += compare_schedules(
+            scalar, batch, label_a="scalar", label_b="batch", atol=atol
+        )
+    return problems
+
+
+@dataclass
+class BatchEquivalenceReport(DifferentialReport):
+    """A differential report with batch-vs-fallback lane accounting."""
+
+    #: Cells actually simulated inside the vectorized core.
+    batch_cells: int = 0
+    #: Cells the front-end routed to the scalar engine instead.
+    fallback_cells: int = 0
+    #: Histogram of fallback reasons across the sweep.
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
+
+    def format_text(self) -> str:
+        lines = [
+            f"batch equivalence sweep: {self.n_scenarios} scenarios "
+            f"(seeds {self.base_seed}.."
+            f"{self.base_seed + self.n_scenarios - 1}) x "
+            f"{len(BATCH_CHECKED_SCHEDULERS)} schedulers, "
+            f"{self.simulations_run} simulations",
+            f"  {self.batch_cells} cell(s) vectorized, "
+            f"{self.fallback_cells} scalar fallback(s)",
+        ]
+        for reason in sorted(self.fallback_reasons):
+            lines.append(
+                f"    fallback[{reason}]: {self.fallback_reasons[reason]}"
+            )
+        if self.ok:
+            lines.append("no discrepancies found")
+        else:
+            lines.append(f"{len(self.discrepancies)} DISCREPANCIES:")
+            for discrepancy in self.discrepancies:
+                lines.append(discrepancy.format_text())
+            lines.append(f"minimal reproducing seed: {self.minimal_seed}")
+        return "\n".join(lines)
+
+
+def run_batch_equivalence(
+    n: int = 100,
+    seed: int = 0,
+    allow_faults: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> BatchEquivalenceReport:
+    """Differentially test batch vs scalar over ``n`` seeded scenarios.
+
+    Every scenario runs under each scheduler in
+    :data:`BATCH_CHECKED_SCHEDULERS`, once through the batch front-end
+    (all scenarios of a scheduler share one SoA core run) and once
+    through the scalar reference; :func:`compare_results` judges each
+    pair.  ``progress`` (if given) is called as ``progress(i, total)``
+    after each (scheduler, scenario) comparison column completes.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n!r}")
+    report = BatchEquivalenceReport(n_scenarios=n, base_seed=seed)
+    specs = [
+        random_scenario(seed + i, allow_faults=allow_faults)
+        for i in range(n)
+    ]
+    from repro.sim.batch import scenario_fallback_reason
+
+    total = n * len(BATCH_CHECKED_SCHEDULERS)
+    done = 0
+    for scheduler_name in BATCH_CHECKED_SCHEDULERS:
+        outcome = run_scenario_batch(specs, scheduler_name)
+        report.simulations_run += len(specs)
+        report.fallback_cells += outcome.fallbacks
+        report.batch_cells += len(specs) - outcome.fallbacks
+        for reason, count in outcome.fallback_reasons.items():
+            report.fallback_reasons[reason] = (
+                report.fallback_reasons.get(reason, 0) + count
+            )
+        for spec, batch_result in zip(specs, outcome.results):
+            # The scalar reference run.  For fallback cells the batch
+            # front-end already ran scalar — the comparison then checks
+            # determinism of the fallback path rather than the core.
+            scalar_result = spec.run(scheduler_name)
+            report.simulations_run += 1
+            report.checks_run += 1
+            vectorized = (
+                scenario_fallback_reason(spec, scheduler_name) is None
+            )
+            for problem in compare_results(scalar_result, batch_result):
+                report.discrepancies.append(Discrepancy(
+                    seed=spec.seed,
+                    check=(
+                        f"batch-equivalence[{scheduler_name}]"
+                        if vectorized
+                        else f"batch-fallback[{scheduler_name}]"
+                    ),
+                    detail=problem,
+                    scenario=spec.describe(),
+                ))
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return report

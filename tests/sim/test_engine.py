@@ -245,3 +245,64 @@ class TestRun:
         q.schedule(2.0, "b")
         q.run()
         assert q.processed_count == 2
+
+
+class TestCancelAfterPop:
+    """Regression tests for the live-count invariant around stale handles.
+
+    ``pop`` removes the event from the heap; cancelling the returned
+    handle afterwards used to decrement ``_live`` a second time, making
+    the queue report fewer live events than it holds (``run``/``drain``
+    then stop early with real events still queued).
+    """
+
+    def test_cancel_after_pop_keeps_live_count(self):
+        q = EventQueue()
+        first = q.schedule(1.0, "first")
+        q.schedule(2.0, "second")
+        assert q.pop() is first
+        q.cancel(first)  # stale handle: must be a no-op
+        assert len(q) == 1
+        assert bool(q)
+        assert q.pop().kind == "second"
+
+    def test_cancel_after_pop_does_not_truncate_run(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, "tick", callback=lambda e: q.cancel(e))
+        for t in (2.0, 3.0):
+            q.schedule(t, "tick", callback=lambda e: seen.append(e.time))
+        assert q.run() == 3
+        assert seen == [2.0, 3.0]
+
+    def test_popped_event_not_marked_cancelled(self):
+        q = EventQueue()
+        event = q.schedule(1.0, "x")
+        q.pop()
+        q.cancel(event)
+        assert not event.cancelled
+        assert event.dispatched
+
+    def test_cancel_then_reschedule_same_time(self):
+        # The dead entry sorts ahead of its same-time replacement (lower
+        # sequence), so peek/pop must skim it via _drop_dead_entries.
+        q = EventQueue()
+        doomed = q.schedule(1.0, "doomed")
+        q.cancel(doomed)
+        replacement = q.schedule(1.0, "replacement")
+        assert len(q) == 1
+        assert q.peek_time() == 1.0  # repro-lint: disable=RPR101 -- exact: the scheduled instant round-trips
+        assert q.pop() is replacement
+        assert len(q) == 0
+        assert q.processed_count == 1
+
+    def test_cancel_reschedule_cycle_preserves_counts(self):
+        q = EventQueue()
+        current = q.schedule(5.0, "job")
+        for _ in range(3):
+            q.cancel(current)
+            current = q.schedule(5.0, "job")
+        q.schedule(6.0, "late")
+        assert len(q) == 2
+        assert [e.kind for e in q.drain()] == ["job", "late"]
+        assert q.processed_count == 2
