@@ -43,7 +43,7 @@ from repro.sched.registry import available_schedulers
 
 __all__ = ["main", "build_parser"]
 
-_PREDICTOR_CHOICES = ("profile", "oracle", "mean")
+_PREDICTOR_CHOICES = ("profile", "oracle", "mean", "last-value")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,8 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--predictor", default="profile", choices=_PREDICTOR_CHOICES,
-        help="harvest predictor (default profile; the batch engine only "
-        "vectorizes oracle — other kinds fall back to scalar)",
+        help="harvest predictor (default profile; every kind is "
+        "vectorized, so the batch engine never falls back on it)",
     )
     sweep.add_argument(
         "--timeout", type=float, default=None,

@@ -36,15 +36,28 @@ __all__ = [
     "ProfilePredictor",
     "MeanPowerPredictor",
     "LastValuePredictor",
+    "profile_segments",
 ]
 
 
 class HarvestPredictor(abc.ABC):
-    """Interface for online predictors of future harvested energy."""
+    """Interface for online predictors of future harvested energy.
+
+    **Empty-window contract**: every predictor returns ``0.0`` when
+    ``t1 - t0 <= EPSILON``.  The simulator already treats such windows
+    as empty (:meth:`repro.sched.base.EnergyOutlook.available_until`
+    never consults the predictor for them), so the gate is unreachable
+    from the scheduling loop — it exists so direct callers see one
+    uniform contract across all predictor kinds, scalar and vectorized
+    (``tests/energy/test_predictor.py`` pins it).
+    """
 
     @abc.abstractmethod
     def predict_energy(self, t0: float, t1: float) -> float:
-        """Predicted harvest over ``[t0, t1]`` (must be ``>= 0``)."""
+        """Predicted harvest over ``[t0, t1]`` (must be ``>= 0``).
+
+        Windows no longer than ``EPSILON`` predict ``0.0``.
+        """
 
     def observe(self, t0: float, t1: float, energy: float) -> None:
         """Feed the realized harvest over an elapsed segment.
@@ -70,6 +83,9 @@ class OraclePredictor(HarvestPredictor):
         self._source = source
 
     def predict_energy(self, t0: float, t1: float) -> float:
+        validate_interval(t0, t1)
+        if t1 - t0 <= EPSILON:
+            return 0.0
         return self._source.energy(t0, t1)
 
     def __repr__(self) -> str:
@@ -101,9 +117,19 @@ class MeanPowerPredictor(HarvestPredictor):
         """Current mean-power estimate."""
         return self._estimate
 
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def initial_power(self) -> float:
+        return self._initial
+
     def predict_energy(self, t0: float, t1: float) -> float:
         validate_interval(t0, t1)
-        return self._estimate * max(0.0, t1 - t0)
+        if t1 - t0 <= EPSILON:
+            return 0.0
+        return self._estimate * (t1 - t0)
 
     def observe(self, t0: float, t1: float, energy: float) -> None:
         validate_interval(t0, t1)
@@ -135,9 +161,20 @@ class LastValuePredictor(HarvestPredictor):
         self._initial = float(initial_power)
         self._last = self._initial
 
+    @property
+    def estimate(self) -> float:
+        """Most recent observed mean power."""
+        return self._last
+
+    @property
+    def initial_power(self) -> float:
+        return self._initial
+
     def predict_energy(self, t0: float, t1: float) -> float:
         validate_interval(t0, t1)
-        return self._last * max(0.0, t1 - t0)
+        if t1 - t0 <= EPSILON:
+            return 0.0
+        return self._last * (t1 - t0)
 
     def observe(self, t0: float, t1: float, energy: float) -> None:
         validate_interval(t0, t1)
@@ -151,6 +188,70 @@ class LastValuePredictor(HarvestPredictor):
 
     def __repr__(self) -> str:
         return f"LastValuePredictor(initial_power={self._initial!r})"
+
+
+def _snap_tail(covered: float, span: float) -> float:
+    """Final segment duration ``d`` such that ``covered + d == span``.
+
+    ``span - covered`` rounds, so the telescoped left-to-right sum of
+    segment durations can land one ulp off the window length.  Nudging
+    ``d`` by ulps restores exact coverage; the loop is bounded because a
+    single rounding error is at most a few ulps (Sterbenz's lemma makes
+    the plain subtraction already exact whenever ``covered >= span / 2``,
+    i.e. for every window at least two bins wide).
+    """
+    d = span - covered
+    for _ in range(8):
+        total = covered + d
+        if total == span:  # repro-lint: disable=RPR101 -- exact-coverage snap
+            break
+        d = math.nextafter(d, math.inf if total < span else -math.inf)
+    return d
+
+
+def profile_segments(
+    t0: float,
+    t1: float,
+    period: float,
+    bin_width: float,
+    n_bins: int,
+) -> Iterator[tuple[int, float]]:
+    """Yield ``(bin_index, duration)`` covering ``[t0, t1]`` exactly.
+
+    The cyclic bin walk shared by :meth:`ProfilePredictor._segments` and
+    the batch engine's per-lane predictor kernels
+    (:mod:`repro.energy.vectorized`) — one implementation, so the two
+    engines cannot drift by even an ulp.
+
+    Bin edges come from one global ladder of offsets from ``t0``
+    (``(first + j + 1) * bin_width - position``), so each duration is a
+    difference of successive ladder values and the left-to-right float
+    sum of durations telescopes.  The final duration is snapped
+    (:func:`_snap_tail`) so that sum equals ``t1 - t0`` bit-exactly — no
+    over-coverage, and no sliver ever lands in the wrong bin.  The
+    ladder strictly grows one bin width per step, so the walk cannot
+    stagnate and needs no epsilon guard.
+    """
+    span = t1 - t0
+    if span <= EPSILON:
+        return
+    position = t0 % period
+    first = min(int(position / bin_width), n_bins - 1)
+    covered = 0.0
+    j = 0
+    while True:
+        edge = (first + j + 1) * bin_width - position
+        index = (first + j) % n_bins
+        if edge >= span:
+            tail = _snap_tail(covered, span)
+            if tail > 0.0:
+                yield index, tail
+            return
+        if edge > covered:
+            d = edge - covered
+            yield index, d
+            covered += d
+        j += 1
 
 
 class ProfilePredictor(HarvestPredictor):
@@ -199,23 +300,35 @@ class ProfilePredictor(HarvestPredictor):
     def n_bins(self) -> int:
         return self._n_bins
 
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def initial_power(self) -> float:
+        return self._initial
+
+    @property
+    def bin_width(self) -> float:
+        return self._bin_width
+
     def bin_estimates(self) -> np.ndarray:
         """Copy of the per-bin mean-power estimates (for inspection)."""
         return self._estimates.copy()
 
+    def bin_seen(self) -> np.ndarray:
+        """Copy of the per-bin observed flags (for inspection)."""
+        return self._seen.copy()
+
     def _segments(self, t0: float, t1: float) -> Iterator[tuple[int, float]]:
-        """Yield ``(bin_index, duration)`` covering ``[t0, t1]`` exactly."""
-        t = t0
-        while t < t1 - EPSILON:
-            position = t % self._period
-            index = min(int(position / self._bin_width), self._n_bins - 1)
-            bin_end = t + (self._bin_width - (position - index * self._bin_width))
-            segment_end = min(bin_end, t1)
-            if segment_end <= t + EPSILON:
-                # Guard against float stagnation right at a bin edge.
-                segment_end = min(t + EPSILON * 2, t1)
-            yield index, segment_end - t
-            t = segment_end
+        """Yield ``(bin_index, duration)`` covering ``[t0, t1]`` exactly.
+
+        Delegates to the shared :func:`profile_segments` walk (also used
+        by the batch engine's kernels).
+        """
+        return profile_segments(
+            t0, t1, self._period, self._bin_width, self._n_bins
+        )
 
     def predict_energy(self, t0: float, t1: float) -> float:
         validate_interval(t0, t1)

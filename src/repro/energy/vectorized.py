@@ -1,0 +1,265 @@
+"""Vectorized predictor kernels mirroring :mod:`repro.energy.predictor`.
+
+The batch engine (:mod:`repro.sim.batch`) keeps per-lane predictor state
+in structure-of-arrays form — one EWMA scalar per lane for the mean and
+last-value predictors, one bin-estimate row per lane for the profile
+predictor.  The kernels here update and query that state for many lanes
+at once.
+
+Bit-exactness doctrine (see ``docs/batch-simulation.md``): every kernel
+performs the *same* IEEE float64 operations in the *same* order as its
+scalar counterpart in :mod:`repro.energy.predictor`.  The elementwise
+span kernels lean on pinned numpy/libm equivalences
+(``TestNumpyAccumulationContract`` in
+``tests/sched/test_vectorized_kernels.py``), with one deliberate
+exception: numpy's *array* ``np.power`` uses a SIMD implementation that
+differs from libm ``pow`` (hence from CPython's ``**``) by one ulp on
+~5% of inputs (observed on numpy 2.4.6), so the EWMA decay factors go
+through :func:`_libm_pow`, an element-wise libm ``pow``.
+
+The profile kernels do not re-derive the cyclic bin walk at all: they
+run the scalar generator (:func:`repro.energy.predictor
+.profile_segments`) once per participating lane.  The walk is a handful
+of segments per lane and the participating lane sets are small (the
+lanes deciding or moving in one step), so per-lane Python floats beat
+masked small-array numpy by a wide margin — and sharing the scalar
+generator makes bit-equality true by construction rather than by
+argument.
+
+All kernels take *dense* arrays: the caller extracts the lanes that
+participate (e.g. only lanes whose elapsed segment exceeds ``EPSILON``
+get an observe, matching the scalar gate) and scatters results back.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.energy.predictor import profile_segments
+from repro.timeutils import EPSILON
+
+__all__ = [
+    "batch_span_predict",
+    "batch_mean_observe",
+    "batch_last_observe",
+    "batch_profile_predict",
+    "batch_profile_observe",
+]
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
+
+
+def _libm_pow(base: FloatArray, expo: FloatArray) -> FloatArray:
+    """Element-wise libm ``pow``, bit-identical to CPython's ``**``.
+
+    numpy's vectorized ``np.power`` is *not* (one-ulp SIMD deviations),
+    which would leak into the EWMA state and break the doctrine — so the
+    decay factors pay for a per-element libm call instead.  Observe
+    batches are small (one entry per moving lane per step), so this is
+    off the hot path.
+    """
+    return np.array([math.pow(b, e) for b, e in zip(base.tolist(), expo.tolist())])
+
+
+def batch_span_predict(estimate: FloatArray, t0: FloatArray, t1: FloatArray) -> FloatArray:
+    """Element-wise ``MeanPowerPredictor``/``LastValuePredictor`` predict.
+
+    Mirrors the scalar empty-window contract: windows no longer than
+    ``EPSILON`` predict ``0.0``; otherwise ``estimate * (t1 - t0)``.
+    """
+    span = t1 - t0
+    result: FloatArray = np.where(span <= EPSILON, 0.0, estimate * span)
+    return result
+
+
+def batch_mean_observe(
+    estimate: FloatArray, alpha: FloatArray, duration: FloatArray, energy: FloatArray
+) -> FloatArray:
+    """Element-wise :meth:`MeanPowerPredictor.observe` (returns new estimate).
+
+    Callers must pre-filter to ``duration > EPSILON`` (the scalar gate).
+    """
+    mean_power = np.maximum(0.0, energy / duration)
+    keep = _libm_pow(1.0 - alpha, duration)
+    result: FloatArray = keep * estimate + (1.0 - keep) * mean_power
+    return result
+
+
+def batch_last_observe(duration: FloatArray, energy: FloatArray) -> FloatArray:
+    """Element-wise :meth:`LastValuePredictor.observe` (returns new estimate).
+
+    Callers must pre-filter to ``duration > EPSILON`` (the scalar gate).
+    """
+    result: FloatArray = np.maximum(0.0, energy / duration)
+    return result
+
+
+def _batch_snap_tail(covered: FloatArray, span: FloatArray) -> FloatArray:
+    """Element-wise :func:`repro.energy.predictor._snap_tail`.
+
+    Nudges the final segment duration by ulps until ``covered + d ==
+    span`` exactly; already-exact elements stop being nudged, so each
+    element follows the scalar loop bit-for-bit (``np.nextafter``
+    matches ``math.nextafter``, pinned).
+    """
+    d = span - covered
+    for _ in range(8):
+        total = covered + d
+        # repro-lint: disable=RPR101 -- exact-coverage snap, mirrors _snap_tail
+        off = total != span
+        if not off.any():
+            break
+        nudged = np.nextafter(d, np.where(total < span, np.inf, -np.inf))
+        d = np.where(off, nudged, d)
+    return d
+
+
+def _first_bin_edge(
+    t0: FloatArray,
+    period: FloatArray,
+    bin_width: FloatArray,
+    n_bins: IntArray,
+) -> tuple[IntArray, FloatArray, FloatArray]:
+    """Each lane's starting bin, first ladder edge, and cycle position.
+
+    The same floats the scalar walk computes at its first step
+    (``j = 0``): ``np.mod`` matches ``%``, truncation matches ``int()``
+    and int64→float64 conversion is exact at these magnitudes — all
+    pinned by ``TestNumpyAccumulationContract``.
+    """
+    position = np.mod(t0, period)
+    first = np.minimum((position / bin_width).astype(np.int64), n_bins - 1)
+    edge = (first + 1).astype(np.float64) * bin_width - position
+    return first, edge, position
+
+
+def batch_profile_predict(
+    t0: FloatArray,
+    t1: FloatArray,
+    period: FloatArray,
+    bin_width: FloatArray,
+    n_bins: IntArray,
+    estimates: FloatArray,
+) -> FloatArray:
+    """Element-wise :meth:`ProfilePredictor.predict_energy`.
+
+    ``estimates`` is ``(lanes, max_bins)``.  Windows that fit inside one
+    bin (the scalar walk terminates at its first step, and the tail snap
+    is the identity because nothing is covered yet) take a fully
+    vectorized path: ``estimate[first] * span``, the same single product
+    the scalar sum performs.  Windows crossing a bin edge run the scalar
+    segment walk per lane and accumulate contributions left to right —
+    the exact float sum the scalar predictor computes.
+    """
+    span = t1 - t0
+    total = np.zeros(t0.shape[0])
+    live = span > EPSILON
+    if not live.any():
+        return total
+    first, edge, position = _first_bin_edge(t0, period, bin_width, n_bins)
+    single = live & (edge >= span)
+    rows = np.flatnonzero(single)
+    if rows.size:
+        total[rows] = estimates[rows, first[rows]] * span[rows]
+    # Two-segment windows (crossing exactly one bin edge) stay
+    # vectorized: the scalar walk yields (first, edge) then the snapped
+    # tail in the next bin, and its left-to-right sum is the same two
+    # products and one addition performed element-wise here.  The
+    # ``edge > 0`` guard mirrors the walk's ``edge > covered`` mid-step
+    # condition (a clamped first bin can start with a non-positive
+    # ladder edge, which the scalar walk skips without yielding).
+    edge2 = (first + 2).astype(np.float64) * bin_width - position
+    double = live & ~single & (edge > 0.0) & (edge2 >= span)
+    rows = np.flatnonzero(double)
+    if rows.size:
+        tail = _batch_snap_tail(edge[rows], span[rows])
+        second = np.mod(first[rows] + 1, n_bins[rows])
+        total[rows] = (
+            estimates[rows, first[rows]] * edge[rows]
+            + estimates[rows, second] * tail
+        )
+    multi = np.flatnonzero(live & ~single & ~double)
+    if multi.size:
+        t0s = t0.tolist()
+        t1s = t1.tolist()
+        periods = period.tolist()
+        widths = bin_width.tolist()
+        bins = n_bins.tolist()
+        for i in multi.tolist():
+            row = estimates[i]
+            acc = 0.0
+            for index, d in profile_segments(
+                t0s[i], t1s[i], periods[i], widths[i], bins[i]
+            ):
+                acc += float(row[index]) * d
+            total[i] = acc
+    return total
+
+
+def batch_profile_observe(
+    t0: FloatArray,
+    t1: FloatArray,
+    period: FloatArray,
+    bin_width: FloatArray,
+    n_bins: IntArray,
+    alpha: FloatArray,
+    energy: FloatArray,
+    estimates: FloatArray,
+    seen: BoolArray,
+) -> None:
+    """Element-wise :meth:`ProfilePredictor.observe` (mutates in place).
+
+    ``estimates``/``seen`` are ``(lanes, max_bins)`` and are updated for
+    the given lanes.  Callers must pre-filter to ``t1 - t0 > EPSILON``
+    (the scalar gate).  Single-bin windows (the overwhelming case: one
+    simulation segment is usually far shorter than a profile bin) take
+    the vectorized path — for them the scalar walk terminates at its
+    first step with the full span as the (snap-exact) tail, so the
+    update is one EWMA step per lane with a libm decay factor.  Windows
+    crossing a bin edge run the scalar segment walk per lane, so
+    repeated visits to the same bin within one window (spans longer
+    than the period) apply their EWMA updates in walk order, exactly
+    like the scalar loop — including the scalar's ``**`` for the decay
+    factor.
+    """
+    duration = t1 - t0
+    mean_power = np.maximum(0.0, energy / duration)
+    first, edge, _ = _first_bin_edge(t0, period, bin_width, n_bins)
+    single = edge >= duration
+    rows = np.flatnonzero(single)
+    if rows.size:
+        idx = first[rows]
+        keep = _libm_pow(1.0 - alpha[rows], duration[rows] / bin_width[rows])
+        prior = estimates[rows, idx]
+        ewma = keep * prior + (1.0 - keep) * mean_power[rows]
+        estimates[rows, idx] = np.where(seen[rows, idx], ewma, mean_power[rows])
+        seen[rows, idx] = True
+    multi = np.flatnonzero(~single)
+    if multi.size:
+        t0s = t0.tolist()
+        t1s = t1.tolist()
+        periods = period.tolist()
+        widths = bin_width.tolist()
+        bins = n_bins.tolist()
+        alphas = alpha.tolist()
+        powers = mean_power.tolist()
+        for i in multi.tolist():
+            power = powers[i]
+            keep_base = 1.0 - alphas[i]
+            width = widths[i]
+            row = estimates[i]
+            seen_row = seen[i]
+            for index, d in profile_segments(
+                t0s[i], t1s[i], periods[i], width, bins[i]
+            ):
+                if seen_row[index]:
+                    keep = keep_base ** (d / width)
+                    row[index] = keep * float(row[index]) + (1.0 - keep) * power
+                else:
+                    row[index] = power
+                seen_row[index] = True

@@ -27,6 +27,7 @@ from repro.cpu.dvfs import FrequencyScale
 from repro.cpu.presets import xscale_pxa
 from repro.energy.predictor import (
     HarvestPredictor,
+    LastValuePredictor,
     MeanPowerPredictor,
     OraclePredictor,
     ProfilePredictor,
@@ -93,7 +94,7 @@ class PaperSetup:
     amplitude: float = 10.0
     rectify: str = "abs"
     power_unit: float = 1e-3
-    predictor_kind: str = "profile"  # "profile" | "oracle" | "mean"
+    predictor_kind: str = "profile"  # "profile" | "oracle" | "mean" | "last-value"
 
     def scale(self) -> FrequencyScale:
         """The XScale-like DVFS ladder (section 5.1)."""
@@ -119,6 +120,8 @@ class PaperSetup:
             return OraclePredictor(source)
         if self.predictor_kind == "mean":
             return MeanPowerPredictor()
+        if self.predictor_kind == "last-value":
+            return LastValuePredictor()
         raise ValueError(f"unknown predictor kind {self.predictor_kind!r}")
 
     def taskset(self, seed: int, utilization: float) -> TaskSet:

@@ -113,8 +113,12 @@ def run_miss_rate_sweep(
     """Sweep capacity fractions and measure pooled miss rates.
 
     ``engine`` selects the execution engine (``"scalar"`` or
-    ``"batch"``); ``None`` reads ``$REPRO_ENGINE``.  The batch engine
-    runs through the journaled sweep path (with or without a journal).
+    ``"batch"``); ``None`` reads ``$REPRO_ENGINE`` and defaults to
+    ``"batch"`` — the vectorized engine covers every predictor kind, so
+    the flagship figures take the fast path end-to-end (set
+    ``REPRO_ENGINE=scalar`` to force the scalar event loop).  The batch
+    engine runs through the journaled sweep path (with or without a
+    journal).
     """
     setup = setup or PaperSetup()
     if reference_capacity is None:
@@ -134,7 +138,7 @@ def run_miss_rate_sweep(
     from repro.runtime.sweep import JOURNAL_ENV, engine_from_env
 
     if engine is None:
-        engine = engine_from_env()
+        engine = engine_from_env(default="batch")
     if engine == "batch" or os.environ.get(JOURNAL_ENV):
         # Resumable path: every cell checkpoints through $REPRO_JOURNAL,
         # so a killed sweep reruns only what is missing.  The batch

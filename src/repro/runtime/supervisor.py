@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from repro.analysis.parallel import (
@@ -128,6 +128,12 @@ class SweepReport:
     #: Cells the batch engine handed back to the scalar path (uncovered
     #: shapes or core guard trips); always 0 on the scalar engine.
     batch_fallbacks: int = 0
+    #: Histogram of fallback reasons for this run's executed cells only —
+    #: journal-resumed cells are answered before execution and never
+    #: re-add to it, so resuming an interrupted sweep cannot double
+    #: count.  Empty on the scalar engine and on fully-covered batches
+    #: (the default sweep grid is fully covered).
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -159,6 +165,11 @@ class SweepReport:
                 f"  engine: {self.engine} "
                 f"({self.batch_fallbacks} scalar fallback(s))"
             )
+            for reason in sorted(self.fallback_reasons):
+                lines.append(
+                    f"    fallback: {reason} "
+                    f"x{self.fallback_reasons[reason]}"
+                )
         if self.budget_exhausted:
             lines.append(
                 f"  budget exhausted ({self.budget_exhausted}); partial "
@@ -263,6 +274,7 @@ def run_supervised(
         )
     executed = 0
     batch_fallbacks = 0
+    fallback_reasons: dict[str, int] = {}
     budget_exhausted: Optional[str] = None
 
     for start in range(0, len(pending), batch_size):
@@ -280,10 +292,14 @@ def run_supervised(
         if engine == "batch":
             from repro.sim.batch import execute_runspecs
 
-            batch_outcomes, fallback_reasons = execute_runspecs(
+            batch_outcomes, batch_reasons = execute_runspecs(
                 [specs[i] for i in batch], slim=slim
             )
-            batch_fallbacks += sum(fallback_reasons.values())
+            batch_fallbacks += sum(batch_reasons.values())
+            for reason, count in batch_reasons.items():
+                fallback_reasons[reason] = (
+                    fallback_reasons.get(reason, 0) + count
+                )
         else:
             batch_outcomes = run_parallel_salvage(
                 [specs[i] for i in batch],
@@ -325,4 +341,5 @@ def run_supervised(
         journal_path=str(journal.path) if journal is not None else None,
         engine=engine,
         batch_fallbacks=batch_fallbacks,
+        fallback_reasons=fallback_reasons,
     )

@@ -70,9 +70,14 @@ def journal_from_env() -> Optional[ResultJournal]:
     return ResultJournal(path)
 
 
-def engine_from_env() -> str:
-    """The engine named by ``$REPRO_ENGINE`` (default ``"scalar"``)."""
-    engine = os.environ.get(ENGINE_ENV, "").strip() or "scalar"
+def engine_from_env(default: str = "scalar") -> str:
+    """The engine named by ``$REPRO_ENGINE`` (``default`` when unset).
+
+    Callers pick their own default — the fig8/fig9 drivers default to
+    the batch engine now that it covers the default ``profile``
+    predictor — and ``$REPRO_ENGINE`` always wins when set.
+    """
+    engine = os.environ.get(ENGINE_ENV, "").strip() or default
     if engine not in ("scalar", "batch"):
         raise ValueError(
             f"{ENGINE_ENV} must be 'scalar' or 'batch', got {engine!r}"

@@ -22,12 +22,15 @@ This is enforced by :mod:`repro.verify.batch_equivalence` and
 **Coverage** — the core handles the shapes the paper experiments use:
 schedulers ``edf`` / ``lsa`` / ``ea-dvfs`` / ``ea-dvfs-noslowdown``,
 constant / solar-stochastic / day-night sources (unfaulted), finite
-:class:`~repro.energy.storage.IdealStorage`, the oracle predictor,
-both miss policies, zero switching overhead, no tracing/sampling.
-Everything else (fault plans, profile/mean predictors, infinite
-storage, custom schedulers) falls back per-scenario to the scalar
-simulator; :class:`BatchRunner` counts those fallbacks so sweeps can
-report them (``SweepReport.batch_fallbacks``).
+:class:`~repro.energy.storage.IdealStorage`, all four predictors
+(``oracle``, ``profile``, ``mean``, ``last-value`` — online predictor
+state lives in per-lane arrays, updated by the kernels in
+:mod:`repro.energy.vectorized`), both miss policies, zero switching
+overhead, no tracing/sampling.  Everything else (fault plans, infinite
+storage, custom schedulers, per-run energy sampling) falls back
+per-scenario to the scalar simulator; :class:`BatchRunner` counts those
+fallbacks so sweeps can report them (``SweepReport.batch_fallbacks`` /
+``SweepReport.fallback_reasons``).
 """
 
 from __future__ import annotations
@@ -46,7 +49,21 @@ from repro.energy.source import (
     EnergySource,
     SolarStochasticSource,
 )
+from repro.energy.predictor import (
+    HarvestPredictor,
+    LastValuePredictor,
+    MeanPowerPredictor,
+    OraclePredictor,
+    ProfilePredictor,
+)
 from repro.energy.storage import EnergyStorage, IdealStorage
+from repro.energy.vectorized import (
+    batch_last_observe,
+    batch_mean_observe,
+    batch_profile_observe,
+    batch_profile_predict,
+    batch_span_predict,
+)
 from repro.sched.registry import make_scheduler
 from repro.sched.vectorized import (
     SCHEDULER_KINDS,
@@ -159,6 +176,71 @@ def _source_params(source: EnergySource, t_max: float) -> _SourceParams:
     )
 
 
+# -- predictor parameterization -------------------------------------------
+
+_PRED_ORACLE = 0
+_PRED_MEAN = 1
+_PRED_LAST = 2
+_PRED_PROFILE = 3
+
+
+@dataclass
+class _PredictorParams:
+    """Vectorizable state of one lane's harvest predictor.
+
+    ``estimate`` carries the live EWMA scalar for the mean and
+    last-value predictors; ``bin_estimates``/``bin_seen`` carry the
+    profile predictor's live per-bin state, so pre-trained predictors
+    batch just like fresh ones.  The oracle needs no state — the core
+    integrates the source directly.
+    """
+
+    kind: int
+    alpha: float = 0.0
+    estimate: float = 0.0
+    period: float = 1.0
+    bin_width: float = 1.0
+    n_bins: int = 1
+    bin_estimates: FloatArray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.float64)
+    )
+    bin_seen: BoolArray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.bool_)
+    )
+
+
+def _predictor_params(predictor: HarvestPredictor) -> _PredictorParams:
+    """Extract vectorizable parameters, or raise ``UncoveredScenarioError``.
+
+    Exact ``type()`` checks, like :func:`_source_params`: a subclass may
+    override behavior the kernels do not replay (``BiasedPredictor``
+    wraps any of these under fault plans, which already fall back).
+    """
+    if type(predictor) is OraclePredictor:
+        return _PredictorParams(kind=_PRED_ORACLE)
+    if type(predictor) is MeanPowerPredictor:
+        return _PredictorParams(
+            kind=_PRED_MEAN,
+            alpha=predictor.alpha,
+            estimate=predictor.estimate,
+        )
+    if type(predictor) is LastValuePredictor:
+        return _PredictorParams(kind=_PRED_LAST, estimate=predictor.estimate)
+    if type(predictor) is ProfilePredictor:
+        return _PredictorParams(
+            kind=_PRED_PROFILE,
+            alpha=predictor.alpha,
+            period=predictor.period,
+            bin_width=predictor.bin_width,
+            n_bins=predictor.n_bins,
+            bin_estimates=predictor.bin_estimates(),
+            bin_seen=predictor.bin_seen(),
+        )
+    raise UncoveredScenarioError(
+        f"predictor type {type(predictor).__name__} is not vectorized"
+    )
+
+
 # -- lane descriptors -----------------------------------------------------
 
 
@@ -182,6 +264,7 @@ class _Lane:
     speeds: FloatArray
     powers: FloatArray
     source: _SourceParams
+    predictor: _PredictorParams
     #: ``None`` for slim sweep lanes built straight from task arrays —
     #: those cannot serve ``result(include_jobs=True)``.
     jobs: Optional[list[Job]]
@@ -209,6 +292,7 @@ def _build_lane(
     jobs: list[Job],
     source: EnergySource,
     storage: EnergyStorage,
+    predictor: HarvestPredictor,
     horizon: float,
     miss_drop: bool,
 ) -> _Lane:
@@ -232,6 +316,7 @@ def _build_lane(
         scale=scale,
         source=source,
         storage=storage,
+        predictor=predictor,
         horizon=horizon,
         miss_drop=miss_drop,
         jrelease=jrelease,
@@ -251,6 +336,7 @@ def _assemble_lane(
     scale: FrequencyScale,
     source: EnergySource,
     storage: EnergyStorage,
+    predictor: HarvestPredictor,
     horizon: float,
     miss_drop: bool,
     jrelease: FloatArray,
@@ -276,6 +362,7 @@ def _assemble_lane(
         horizon, float(jdeadline.max()) if jdeadline.size else horizon
     )
     params = _source_params(source, t_max)
+    pred_params = _predictor_params(predictor)
     # Event table: mirrors _seed_events — a release (priority 1) per job,
     # a deadline (priority 0) per job judged within the horizon, sequence
     # in insertion order; then heap order (time, priority, sequence).
@@ -312,6 +399,7 @@ def _assemble_lane(
         speeds=np.asarray([lv.speed for lv in scale.levels], dtype=np.float64),
         powers=np.asarray([lv.power for lv in scale.levels], dtype=np.float64),
         source=params,
+        predictor=pred_params,
         jobs=jobs,
         jrelease=jrelease,
         jdeadline=jdeadline,
@@ -439,6 +527,44 @@ class _BatchCore:
         self._power_base = np.where(
             self.src_kind == _SRC_CONST, self.src_const, 0.0
         )
+        # -- predictor tables and state ----------------------------------
+        self.pred_kind = np.asarray(
+            [la.predictor.kind for la in self.lanes], dtype=np.int64
+        )
+        self.pred_alpha = np.asarray(
+            [la.predictor.alpha for la in self.lanes]
+        )
+        self.pred_period = np.asarray(
+            [la.predictor.period for la in self.lanes]
+        )
+        self.pred_bw = np.asarray(
+            [la.predictor.bin_width for la in self.lanes]
+        )
+        self.pred_nbins = np.asarray(
+            [la.predictor.n_bins for la in self.lanes], dtype=np.int64
+        )
+        # Live EWMA scalar (mean / last-value lanes).
+        self.pred_estimate = np.asarray(
+            [la.predictor.estimate for la in self.lanes]
+        )
+        # Live per-bin profile state, padded to the widest lane.
+        max_bins = max(1, int(self.pred_nbins.max()))
+        self.pred_bin_est = np.zeros((n, max_bins))
+        self.pred_bin_seen = np.zeros((n, max_bins), dtype=np.bool_)
+        for i, lane in enumerate(self.lanes):
+            p = lane.predictor
+            if p.kind == _PRED_PROFILE:
+                self.pred_bin_est[i, : p.n_bins] = p.bin_estimates
+                self.pred_bin_seen[i, : p.n_bins] = p.bin_seen
+        # The scalar simulator feeds every elapsed segment to the
+        # predictor, but EDF never queries the outlook and the oracle
+        # ignores observations — skipping those lanes changes no result
+        # (exactly the argument the old EDF-under-any-predictor fallback
+        # exemption made).
+        self._observe_mask = (self.pred_kind != _PRED_ORACLE) & (
+            self.kind != SCHED_EDF
+        )
+        self._has_online = bool(self._observe_mask.any())
         # -- dynamic state (one scalar simulator's fields, per lane) -----
         self.t = np.zeros(n)
         self.active = np.ones(n, dtype=np.bool_)
@@ -786,17 +912,40 @@ class _BatchCore:
         deadline = self.jdeadline[lanes, job]
         work = self.jremaining[lanes, job]
         stored = self.stored[lanes]
-        # EnergyOutlook.available_until(now, deadline); the oracle
-        # predictor integrates the source over [now, deadline).
+        # EnergyOutlook.available_until(now, deadline), split by the
+        # lane's predictor kind: the oracle integrates the source over
+        # [now, deadline), the online predictors evaluate their live
+        # per-lane state through the repro.energy.vectorized kernels.
         deadline_passed = batch_time_le(deadline, now)
         needs_energy = ~deadline_passed & (self.kind[lanes] != SCHED_EDF)
         predicted = np.zeros(lanes.shape[0])
         if needs_energy.any():
-            predicted[needs_energy] = self._src_energy_lanes(
-                lanes[needs_energy],
-                now[needs_energy],
-                deadline[needs_energy],
+            pkind = self.pred_kind[lanes]
+            oracle = needs_energy & (pkind == _PRED_ORACLE)
+            if oracle.any():
+                predicted[oracle] = self._src_energy_lanes(
+                    lanes[oracle], now[oracle], deadline[oracle]
+                )
+            span_kind = needs_energy & (
+                (pkind == _PRED_MEAN) | (pkind == _PRED_LAST)
             )
+            if span_kind.any():
+                predicted[span_kind] = batch_span_predict(
+                    self.pred_estimate[lanes[span_kind]],
+                    now[span_kind],
+                    deadline[span_kind],
+                )
+            profile = needs_energy & (pkind == _PRED_PROFILE)
+            if profile.any():
+                pl = lanes[profile]
+                predicted[profile] = batch_profile_predict(
+                    now[profile],
+                    deadline[profile],
+                    self.pred_period[pl],
+                    self.pred_bw[pl],
+                    self.pred_nbins[pl],
+                    self.pred_bin_est[pl],
+                )
         available = np.where(deadline_passed, stored, stored + predicted)
         storage_full = stored >= self.capacity[lanes] - EPSILON  # is_full
         decision = batch_decide(
@@ -912,6 +1061,52 @@ class _BatchCore:
             self.stored[lanes] = np.where(proposed > cap, cap, proposed)
             self.total_drawn[lanes] += outflow * span
             self.total_overflow[lanes] += overflow
+            # predictor.observe(t, end, harvest * duration): the scalar
+            # call happens for every elapsed segment; the predictors
+            # no-op below EPSILON, and oracle/EDF lanes are skipped (see
+            # _observe_mask).  Segments never straddle a source boundary
+            # (_segment_end cuts there), so harvest * duration is the
+            # exact realized integral, as in the scalar call.
+            if self._has_online:
+                obs = moving & self._observe_mask & (duration > EPSILON)
+                if obs.any():
+                    ol = np.flatnonzero(obs)
+                    odur = duration[ol]
+                    oenergy = harvest[ol] * odur
+                    okind = self.pred_kind[ol]
+                    mean_m = okind == _PRED_MEAN
+                    if mean_m.any():
+                        ml = ol[mean_m]
+                        self.pred_estimate[ml] = batch_mean_observe(
+                            self.pred_estimate[ml],
+                            self.pred_alpha[ml],
+                            odur[mean_m],
+                            oenergy[mean_m],
+                        )
+                    last_m = okind == _PRED_LAST
+                    if last_m.any():
+                        ll = ol[last_m]
+                        self.pred_estimate[ll] = batch_last_observe(
+                            odur[last_m], oenergy[last_m]
+                        )
+                    prof_m = okind == _PRED_PROFILE
+                    if prof_m.any():
+                        pl = ol[prof_m]
+                        sub_est = self.pred_bin_est[pl]
+                        sub_seen = self.pred_bin_seen[pl]
+                        batch_profile_observe(
+                            self.t[pl],
+                            end[pl],
+                            self.pred_period[pl],
+                            self.pred_bw[pl],
+                            self.pred_nbins[pl],
+                            self.pred_alpha[pl],
+                            oenergy[prof_m],
+                            sub_est,
+                            sub_seen,
+                        )
+                        self.pred_bin_est[pl] = sub_est
+                        self.pred_bin_seen[pl] = sub_seen
             # Processor.account_time
             running = self.running[lanes] >= 0
             busy_lanes = lanes[running]
@@ -1111,24 +1306,20 @@ def scenario_fallback_reason(
         return f"scheduler {scheduler_name!r} not vectorized"
     if spec.faults.any_active:
         return "fault plan active"
-    # EDF never queries the energy outlook, so its results are identical
-    # under every predictor; the other policies need the oracle.
-    if scheduler_name != "edf" and spec.predictor_kind != "oracle":
-        return f"predictor {spec.predictor_kind!r} not vectorized"
     if not math.isfinite(spec.capacity):
         return "infinite storage"
     return None
 
 
 def runspec_fallback_reason(spec: "RunSpec") -> Optional[str]:
-    """Why this sweep cell needs the scalar engine, or None."""
+    """Why this sweep cell needs the scalar engine, or None.
+
+    All four predictor kinds are vectorized; an unknown kind raises at
+    lane build (exactly where the scalar ``PaperSetup.predictor`` would)
+    and is journaled as a cell failure, not a fallback.
+    """
     if spec.scheduler_name not in SCHEDULER_KINDS:
         return f"scheduler {spec.scheduler_name!r} not vectorized"
-    if (
-        spec.scheduler_name != "edf"
-        and spec.setup.predictor_kind != "oracle"
-    ):
-        return f"predictor {spec.setup.predictor_kind!r} not vectorized"
     if spec.energy_sample_interval is not None:
         return "energy sampling requested"
     if not math.isfinite(spec.capacity):
@@ -1256,12 +1447,14 @@ def _scenario_lane(spec: "ScenarioSpec", scheduler_name: str) -> _Lane:
         else None
     )
     taskset = spec.build_taskset()
+    source = spec.build_source()
     return _build_lane(
         scheduler_name=scheduler_name,
         scale=spec.scale(),
         jobs=taskset.jobs(spec.horizon, rng),
-        source=spec.build_source(),
+        source=source,
         storage=spec.build_storage(),
+        predictor=spec.build_predictor(source),
         horizon=spec.horizon,
         miss_drop=spec.miss_policy == "drop",
     )
@@ -1276,6 +1469,7 @@ def _runspec_lane(spec: "RunSpec", slim: bool = True) -> _Lane:
     """
     setup = spec.setup
     taskset = setup.taskset(spec.seed, spec.utilization)
+    source = setup.source(spec.seed)
     if slim:
         arrays = _periodic_job_arrays(taskset, setup.horizon)
         if arrays is not None:
@@ -1283,8 +1477,9 @@ def _runspec_lane(spec: "RunSpec", slim: bool = True) -> _Lane:
             return _assemble_lane(
                 scheduler_name=spec.scheduler_name,
                 scale=setup.scale(),
-                source=setup.source(spec.seed),
+                source=source,
                 storage=IdealStorage(capacity=spec.capacity),
+                predictor=setup.predictor(source),
                 horizon=setup.horizon,
                 miss_drop=True,
                 jrelease=jrelease,
@@ -1299,8 +1494,9 @@ def _runspec_lane(spec: "RunSpec", slim: bool = True) -> _Lane:
         scheduler_name=spec.scheduler_name,
         scale=setup.scale(),
         jobs=taskset.jobs(setup.horizon, None),
-        source=setup.source(spec.seed),
+        source=source,
         storage=IdealStorage(capacity=spec.capacity),
+        predictor=setup.predictor(source),
         horizon=setup.horizon,
         miss_drop=True,  # SimulationConfig default (PaperSetup passes none)
     )

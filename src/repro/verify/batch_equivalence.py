@@ -14,8 +14,12 @@ and once through the reference scalar simulator, and asserts:
   relative tolerance (see ``docs/batch-simulation.md``; in practice the
   engines agree bit-for-bit, the tolerance only guards the contract);
 * **fallback plumbing** — cells the batch engine hands back to the
-  scalar path (faulted worlds, uncovered predictors, infinite storage)
-  still round-trip through the front-end and are tallied.
+  scalar path (faulted worlds, infinite storage) still round-trip
+  through the front-end and are tallied.
+
+The scenario pool draws every predictor kind (``oracle``, ``profile``,
+``mean``, ``last-value``), all vectorized; the report counts scenarios
+per kind so CI shows each kind was actually exercised.
 
 Failures reuse the :class:`~repro.verify.differential.Discrepancy` /
 report machinery, so the smallest failing scenario seed is surfaced as
@@ -138,6 +142,9 @@ class BatchEquivalenceReport(DifferentialReport):
     fallback_cells: int = 0
     #: Histogram of fallback reasons across the sweep.
     fallback_reasons: dict[str, int] = field(default_factory=dict)
+    #: Scenarios drawn per predictor kind (coverage evidence: the sweep
+    #: must exercise every vectorized kind, not just the oracle).
+    predictor_kinds: dict[str, int] = field(default_factory=dict)
 
     def format_text(self) -> str:
         lines = [
@@ -153,6 +160,12 @@ class BatchEquivalenceReport(DifferentialReport):
             lines.append(
                 f"    fallback[{reason}]: {self.fallback_reasons[reason]}"
             )
+        if self.predictor_kinds:
+            coverage = ", ".join(
+                f"{kind}: {self.predictor_kinds[kind]}"
+                for kind in sorted(self.predictor_kinds)
+            )
+            lines.append(f"  predictor coverage — {coverage}")
         if self.ok:
             lines.append("no discrepancies found")
         else:
@@ -185,6 +198,10 @@ def run_batch_equivalence(
         random_scenario(seed + i, allow_faults=allow_faults)
         for i in range(n)
     ]
+    for spec in specs:
+        report.predictor_kinds[spec.predictor_kind] = (
+            report.predictor_kinds.get(spec.predictor_kind, 0) + 1
+        )
     from repro.sim.batch import scenario_fallback_reason
 
     total = n * len(BATCH_CHECKED_SCHEDULERS)

@@ -30,6 +30,7 @@ from repro.cpu.dvfs import FrequencyScale
 from repro.cpu.presets import xscale_pxa
 from repro.energy.predictor import (
     HarvestPredictor,
+    LastValuePredictor,
     MeanPowerPredictor,
     OraclePredictor,
     ProfilePredictor,
@@ -75,7 +76,7 @@ __all__ = [
 PERIOD_CHOICES: tuple[float, ...] = (10.0, 20.0, 30.0, 50.0, 80.0)
 
 SOURCE_KINDS: tuple[str, ...] = ("constant", "solar", "daynight")
-PREDICTOR_KINDS: tuple[str, ...] = ("oracle", "profile", "mean")
+PREDICTOR_KINDS: tuple[str, ...] = ("oracle", "profile", "mean", "last-value")
 SOURCE_FAULT_KINDS: tuple[str, ...] = ("blackout", "brownout", "dropout")
 
 #: Horizon pool — long enough for energy dynamics, short enough that a
@@ -221,6 +222,8 @@ class ScenarioSpec:
             predictor: HarvestPredictor = OraclePredictor(source)
         elif self.predictor_kind == "profile":
             predictor = ProfilePredictor(period=100.0, n_bins=16)
+        elif self.predictor_kind == "last-value":
+            predictor = LastValuePredictor()
         else:
             predictor = MeanPowerPredictor()
         if (

@@ -9,11 +9,12 @@ scalar functions (:func:`repro.core.slowdown.compute_plan`, the analytic
 oracles of :mod:`repro.verify.oracles`, :func:`repro.timeutils.time_le`)
 — comparisons are bit-exact, not approximate.
 
-Also pinned here: the two numpy facts the engine's bit-exactness
-argument rests on (row-wise ``np.cumsum`` accumulates strictly left to
-right; masked ``+ 0.0`` never perturbs a float64 accumulator), so a
-numpy behaviour change fails loudly instead of silently skewing
-energies.
+Also pinned here: the numpy facts the engine's bit-exactness argument
+rests on (row-wise ``np.cumsum`` accumulates strictly left to right;
+masked ``+ 0.0`` never perturbs a float64 accumulator; ``np.mod``,
+``np.nextafter`` and ``astype(int64)`` match their scalar twins; array
+``np.power`` does *not* and is banned from the kernels), so a numpy
+behaviour change fails loudly instead of silently skewing energies.
 """
 
 from __future__ import annotations
@@ -366,3 +367,89 @@ class TestNumpyAccumulationContract:
              for i in range(64)]
         )
         assert (vector == sequential).all()  # repro-lint: disable=RPR101 -- pins numpy rng stream
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6),
+                st.floats(min_value=1e-9, max_value=1e6),
+            ),
+            min_size=1, max_size=100,
+        )
+    )
+    def test_mod_matches_python_for_nonnegative(self, pairs):
+        """``np.mod`` == ``%`` on non-negative operands.
+
+        The profile-predictor bin walk
+        (:func:`repro.energy.vectorized.iter_profile_segments`) folds
+        ``t0`` into the cycle with ``np.mod`` where the scalar predictor
+        uses ``%``.
+        """
+        a = np.asarray([p[0] for p in pairs])
+        b = np.asarray([p[1] for p in pairs])
+        out = np.mod(a, b)
+        for x, y, o in zip(a.tolist(), b.tolist(), out.tolist()):
+            assert o == x % y  # repro-lint: disable=RPR101 -- pins numpy modulo
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e9, max_value=1e9),
+            min_size=1, max_size=100,
+        ),
+        st.booleans(),
+    )
+    def test_nextafter_matches_math(self, values, upward):
+        """``np.nextafter`` == ``math.nextafter`` (the tail snap).
+
+        ``_batch_snap_tail`` nudges final segment durations by ulps to
+        restore exact window coverage, mirroring the scalar
+        ``_snap_tail`` loop.
+        """
+        target = math.inf if upward else -math.inf
+        row = np.asarray(values)
+        out = np.nextafter(row, target)
+        for x, o in zip(values, out.tolist()):
+            assert o == math.nextafter(x, target)  # repro-lint: disable=RPR101 -- pins numpy nextafter
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e15),
+            min_size=1, max_size=100,
+        )
+    )
+    def test_astype_int64_truncates_like_int(self, values):
+        """``.astype(np.int64)`` == ``int()`` for non-negative floats.
+
+        The bin walk derives each lane's starting bin by truncating
+        ``position / bin_width`` exactly as the scalar predictor's
+        ``int(...)`` does.
+        """
+        row = np.asarray(values)
+        out = row.astype(np.int64)
+        for x, o in zip(values, out.tolist()):
+            assert o == int(x)
+
+    def test_array_power_not_trusted_for_ewma(self):
+        """numpy's vectorized ``np.power`` is NOT bit-compatible with
+        ``**`` — a SIMD path deviates from libm ``pow`` by one ulp on a
+        few percent of inputs (observed on numpy 2.4.6).  The EWMA decay
+        factors therefore route through
+        :func:`repro.energy.vectorized._libm_pow` (element-wise libm),
+        which IS bit-compatible.  If the first assertion ever fails,
+        np.power became bit-exact and ``_libm_pow`` can be retired.
+        """
+        from repro.energy.vectorized import _libm_pow
+
+        rng = np.random.default_rng(42)
+        base = rng.uniform(0.0, 1.0, size=20000)
+        expo = rng.uniform(0.0, 30.0, size=20000)
+        simd = np.power(base, expo)
+        libm = _libm_pow(base, expo)
+        assert (simd != libm).any()
+        for b, e, o in zip(
+            base[:2000].tolist(), expo[:2000].tolist(), libm[:2000].tolist()
+        ):
+            assert o == b**e  # repro-lint: disable=RPR101 -- pins libm pow bit-compat

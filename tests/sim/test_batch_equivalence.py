@@ -74,6 +74,25 @@ class TestTier1Smoke:
             )
             assert compare_results(scalar, batch_result) == []
 
+    @pytest.mark.parametrize(
+        "kind", ["oracle", "profile", "mean", "last-value"]
+    )
+    def test_every_predictor_kind_vectorized(self, kind):
+        # The tentpole contract: no predictor kind falls back, and each
+        # one's batch run matches the scalar reference bit-for-bit on
+        # counters (1e-9 on energies).
+        setup = PaperSetup(horizon=400.0, predictor_kind=kind)
+        specs = _grid(setup=setup, seeds=1)
+        outcomes, reasons = execute_runspecs(specs, slim=True)
+        assert reasons == {}
+        for spec, batch_result in zip(specs, outcomes):
+            assert isinstance(batch_result, SimulationResult)
+            scalar = spec.setup.run(
+                spec.scheduler_name, spec.utilization, spec.capacity,
+                spec.seed,
+            )
+            assert compare_results(scalar, batch_result) == []
+
     def test_scenario_worlds_agree(self):
         report = run_batch_equivalence(n=6, seed=0, allow_faults=False)
         assert report.ok, report.format_text()
@@ -114,10 +133,11 @@ class TestFallbackRouting:
     def test_runspec_fallback_reasons(self):
         covered = _grid(seeds=1)[0]
         assert runspec_fallback_reason(covered) is None
+        # The default (profile) predictor is vectorized — no fallback.
         profile = dataclasses.replace(
             covered, setup=PaperSetup(horizon=400.0)
         )
-        assert "predictor" in str(runspec_fallback_reason(profile))
+        assert runspec_fallback_reason(profile) is None
         sampled = dataclasses.replace(covered, energy_sample_interval=10.0)
         assert "sampling" in str(runspec_fallback_reason(sampled))
         unknown = dataclasses.replace(covered, scheduler_name="stretch-edf")
@@ -137,26 +157,40 @@ class TestFallbackRouting:
         assert scenario_fallback_reason(faulted, "ea-dvfs") == (
             "fault plan active"
         )
-        mean = dataclasses.replace(spec, predictor_kind="mean")
-        assert "predictor" in str(scenario_fallback_reason(mean, "lsa"))
-        # EDF never consults the predictor, so it stays vectorized.
-        assert scenario_fallback_reason(mean, "edf") is None
+        # Every online predictor kind is vectorized now — no predictor
+        # triggers a fallback under any covered scheduler.
+        for kind in ("profile", "mean", "last-value"):
+            online = dataclasses.replace(spec, predictor_kind=kind)
+            for scheduler in ("lsa", "ea-dvfs", "edf"):
+                assert scenario_fallback_reason(online, scheduler) is None
 
     def test_mixed_batch_counts_fallbacks(self):
         covered = _grid(seeds=1)[0]
-        profile = dataclasses.replace(
-            covered, setup=PaperSetup(horizon=400.0)
-        )
-        outcomes, reasons = execute_runspecs([covered, profile], slim=True)
+        sampled = dataclasses.replace(covered, energy_sample_interval=10.0)
+        outcomes, reasons = execute_runspecs([covered, sampled], slim=True)
         assert len(outcomes) == 2
         assert all(isinstance(o, SimulationResult) for o in outcomes)
         assert sum(reasons.values()) == 1
-        assert any("predictor" in reason for reason in reasons)
+        assert any("sampling" in reason for reason in reasons)
 
     def test_empty_batch(self):
         outcomes, reasons = execute_runspecs([], slim=True)
         assert outcomes == []
         assert reasons == {}
+
+    def test_default_grid_has_no_fallbacks(self):
+        # Satellite regression: the default sweep grid (profile
+        # predictor, finite capacity, no faults) must be fully
+        # vectorized — an empty fallback histogram, not a silent
+        # scalar sweep.
+        specs = _grid(setup=PaperSetup(horizon=400.0))
+        report = run_supervised(specs, engine="batch")
+        assert report.engine == "batch"
+        assert report.batch_fallbacks == 0
+        assert report.fallback_reasons == {}
+        assert all(
+            isinstance(o, SimulationResult) for o in report.outcomes
+        )
 
     def test_slim_lane_refuses_job_results(self):
         lane = _runspec_lane(_grid(seeds=1)[0], slim=True)
@@ -240,11 +274,45 @@ class TestSupervisorEngine:
     def test_engine_from_env(self, monkeypatch):
         monkeypatch.delenv(ENGINE_ENV, raising=False)
         assert engine_from_env() == "scalar"
+        assert engine_from_env(default="batch") == "batch"
         monkeypatch.setenv(ENGINE_ENV, "batch")
         assert engine_from_env() == "batch"
+        monkeypatch.setenv(ENGINE_ENV, "scalar")
+        # The env var wins over the caller's default.
+        assert engine_from_env(default="batch") == "scalar"
         monkeypatch.setenv(ENGINE_ENV, "warp")
         with pytest.raises(ValueError, match=ENGINE_ENV):
             engine_from_env()
+
+    def test_resume_does_not_recount_fallbacks(self, tmp_path):
+        # Satellite regression: fallback tallies count only cells
+        # executed in *this* run.  A journal-resumed sweep re-serves
+        # every cell from the journal and must report zero fallbacks,
+        # not re-add the first run's histogram.
+        covered = _grid(seeds=1)[0]
+        sampled = dataclasses.replace(
+            covered, energy_sample_interval=10.0
+        )
+        specs = [covered, sampled]
+        path = tmp_path / "sweep.journal"
+        journal = ResultJournal(path)
+        try:
+            first = run_supervised(specs, journal=journal, engine="batch")
+        finally:
+            journal.close()
+        assert first.batch_fallbacks == 1
+        assert first.fallback_reasons == {
+            "energy sampling requested": 1
+        }
+        journal = ResultJournal(path)
+        try:
+            second = run_supervised(specs, journal=journal, engine="batch")
+        finally:
+            journal.close()
+        assert second.journal_hits == len(specs)
+        assert second.executed == 0
+        assert second.batch_fallbacks == 0
+        assert second.fallback_reasons == {}
 
 
 class TestReporting:
