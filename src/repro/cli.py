@@ -16,10 +16,13 @@
     seeded random scenarios; exits non-zero on any discrepancy.
 ``repro lint [paths]``
     Domain-aware static analysis (determinism, tolerant-comparison,
-    flow-aware quantity-unit, API-contract rules); exits non-zero on any
-    finding.  ``--baseline``/``--update-baseline`` turn it into a
-    ratchet gate, ``--format sarif`` emits SARIF 2.1.0 for review UIs,
-    and ``--fix`` applies the safe mechanical rewrites.
+    flow-aware quantity-unit, API-contract, float-determinism/parity
+    rules); exits non-zero on any finding.  ``--baseline`` /
+    ``--update-baseline`` turn it into a ratchet gate, ``--format
+    sarif`` emits SARIF 2.1.0 for review UIs, ``--format github`` emits
+    inline PR annotations, ``--fix`` applies the safe mechanical
+    rewrites (including stripping stale suppressions), and
+    ``--fail-on-stale`` gates on leftover suppressions.
 ``repro sweep [options]``
     Resumable grid sweep through the crash-consistent runtime
     (:mod:`repro.runtime`): with ``--journal PATH`` every finished cell
@@ -130,13 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="domain-aware static analysis of the source tree",
     )
     lint.add_argument(
-        "paths", nargs="*", default=["src", "benchmarks", "tests"],
-        help="files/directories to lint (default: src benchmarks tests)",
+        "paths", nargs="*",
+        default=["src", "benchmarks", "examples", "tests"],
+        help="files/directories to lint "
+        "(default: src benchmarks examples tests)",
     )
     lint.add_argument(
         "--format", dest="output_format", default="text",
-        choices=("text", "json", "sarif"),
-        help="diagnostic output format (default text)",
+        choices=("text", "json", "sarif", "github"),
+        help="diagnostic output format (default text; `github` emits "
+        "workflow-command annotations for inline PR review)",
     )
     lint.add_argument(
         "--baseline", metavar="PATH",
@@ -149,7 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--fix", action="store_true",
-        help="apply the safe auto-fixes, then re-run the analysis",
+        help="apply the safe auto-fixes (including stripping stale "
+        "suppressions), then re-run the analysis",
+    )
+    lint.add_argument(
+        "--fail-on-stale", action="store_true",
+        help="exit non-zero when any suppression matches no finding "
+        "(stale notes are informational by default)",
     )
     lint.add_argument(
         "--list-rules", action="store_true",
@@ -481,13 +493,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(report.to_json())
     elif args.output_format == "sarif":
         print(json.dumps(to_sarif(report), indent=2, sort_keys=True))
+    elif args.output_format == "github":
+        rendered = report.format_github()
+        if rendered:
+            print(rendered)
     else:
         print(report.format_text())
+    stale_failure = bool(args.fail_on_stale and report.stale_suppressions)
+    if stale_failure and args.output_format in ("text", "github"):
+        print(
+            f"{len(report.stale_suppressions)} stale suppression(s) "
+            "with --fail-on-stale; strip them with `repro lint --fix`",
+            file=sys.stderr,
+        )
     if comparison is not None:
         print()
         print(comparison.format_text())
-        return 0 if comparison.ok else 1
-    return 0 if report.ok else 1
+        return 0 if comparison.ok and not stale_failure else 1
+    return 0 if report.ok and not stale_failure else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

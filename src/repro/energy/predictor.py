@@ -203,7 +203,7 @@ def _snap_tail(covered: float, span: float) -> float:
     d = span - covered
     for _ in range(8):
         total = covered + d
-        if total == span:  # repro-lint: disable=RPR101 -- exact-coverage snap
+        if total == span:
             break
         d = math.nextafter(d, math.inf if total < span else -math.inf)
     return d

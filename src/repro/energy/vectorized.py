@@ -31,6 +31,8 @@ participate (e.g. only lanes whose elapsed segment exceeds ``EPSILON``
 get an observe, matching the scalar gate) and scatters results back.
 """
 
+# repro: float-doctrine -- the RPR4xx bit-exactness rules apply here.
+
 from __future__ import annotations
 
 import math
@@ -110,7 +112,6 @@ def _batch_snap_tail(covered: FloatArray, span: FloatArray) -> FloatArray:
     d = span - covered
     for _ in range(8):
         total = covered + d
-        # repro-lint: disable=RPR101 -- exact-coverage snap, mirrors _snap_tail
         off = total != span
         if not off.any():
             break

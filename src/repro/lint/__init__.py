@@ -20,8 +20,15 @@ RPR205     no wrong-dimension argument to an indexed function
 RPR301     Scheduler subclasses override ``decide`` and declare ``name``
 RPR302     schedulers must be reachable via ``sched/registry.py``
 RPR303     frozen ``ScenarioSpec`` is never mutated
+RPR401     no nondeterministic-order float reductions in doctrine modules
+RPR402     no SIMD-divergent ufuncs (``np.power`` etc.) in doctrine modules
+RPR403     no silent int→float dtype promotion in doctrine modules
+RPR404     sorts on float arrays must request a stable kind
+RPR405     doctrine kernels must not mutate caller-owned input arrays
+RPR410     scalar↔batch parity: twin missing or float-ops drifted from pin
 RPR901     (engine) file failed to parse
 RPR902     (engine) suppression names an unknown rule code
+RPR903     (engine) suppression matches no finding (stale)
 =========  ==============================================================
 
 Since PR 5 the quantity rules (RPR1xx/RPR2xx) are *flow-aware*: an
@@ -31,6 +38,15 @@ the naming vocabulary, from ``Seconds``/``Joules``/``Watts`` annotations,
 and from a whole-project signature index (:mod:`repro.lint.index`).
 The determinism family (RPR00x) is relaxed under ``tests/``.
 
+The float-determinism family (RPR4xx, :mod:`repro.lint.rules_numpy`)
+enforces the bit-exact vectorization doctrine, but only in modules that
+opt in with a ``# repro: float-doctrine`` comment line; an array-kind
+facet of the dataflow interpreter tracks which expressions are float
+arrays so the rules stay quiet elsewhere.  The parity checker
+(:mod:`repro.lint.parity`) pins the float-operation fingerprint of each
+scalar decision function and its vectorized twin and raises RPR410 when
+either side drifts from its pin.
+
 Suppress a finding with an inline ``# repro-lint: disable=RPR101`` (or
 ``disable-file=`` for the whole file), ideally followed by a short
 ``-- why`` note.  CI ratchets the suppression count and the finding set
@@ -39,7 +55,13 @@ and ``repro lint --fix`` applies the safe mechanical rewrites.
 """
 
 from repro.lint.baseline import Baseline, BaselineComparison
-from repro.lint.dataflow import ModuleDataflow, analyze_module
+from repro.lint.dataflow import (
+    ArrayKind,
+    ModuleArrays,
+    ModuleDataflow,
+    analyze_arrays,
+    analyze_module,
+)
 from repro.lint.engine import (
     ENGINE_VERSION,
     Diagnostic,
@@ -55,20 +77,27 @@ from repro.lint.engine import (
 from repro.lint.fixers import apply_fixes
 from repro.lint.index import ProjectIndex, build_index
 from repro.lint.naming import Dimension, infer_dimension
+from repro.lint.parity import PAIRS, FunctionRef, ParityPair
 from repro.lint.sarif import to_sarif
 
 __all__ = [
     "ENGINE_VERSION",
+    "PAIRS",
+    "ArrayKind",
     "Baseline",
     "BaselineComparison",
     "Diagnostic",
     "Dimension",
+    "FunctionRef",
     "LintError",
     "LintReport",
+    "ModuleArrays",
     "ModuleDataflow",
+    "ParityPair",
     "ProjectIndex",
     "Rule",
     "all_rules",
+    "analyze_arrays",
     "analyze_module",
     "apply_fixes",
     "build_index",

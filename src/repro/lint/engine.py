@@ -20,7 +20,10 @@ Suppressions follow the conventional inline-comment shape::
 A line-comment of the form ``# repro-lint: disable-file=RPR101`` on any
 line suppresses the code for the whole file.  ``disable=all`` works in
 both positions.  Unknown codes in a suppression are reported as
-``RPR902`` so stale suppressions cannot rot silently.
+``RPR902``, and suppressions that no longer match any live finding are
+reported as *stale* (``RPR903``, informational by default;
+``repro lint --fail-on-stale`` gates on them and ``--fix`` strips
+them) — so suppressions cannot rot silently in either direction.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.lint.dataflow import ModuleDataflow
+    from repro.lint.dataflow import ModuleArrays, ModuleDataflow
     from repro.lint.index import ProjectIndex
 
 __all__ = [
@@ -45,6 +48,7 @@ __all__ = [
     "ModuleContext",
     "ProjectRule",
     "Rule",
+    "SuppressionEntry",
     "all_rules",
     "lint_paths",
     "lint_source",
@@ -56,12 +60,17 @@ __all__ = [
 #: baseline files so a stale baseline is detected instead of silently
 #: matching against different semantics.  Bump on any change to rule
 #: behaviour or diagnostic messages.
-ENGINE_VERSION = "2.0.0"
+ENGINE_VERSION = "3.0.0"
 
 #: Code attached to files that fail to parse.
 SYNTAX_ERROR_CODE = "RPR901"
 #: Code attached to suppression comments naming unknown rule codes.
 UNKNOWN_SUPPRESSION_CODE = "RPR902"
+#: Code attached to suppression comments that no longer suppress a live
+#: finding.  Reported out of band (``LintReport.stale_suppressions``),
+#: so a stale note never fails a default run — ``--fail-on-stale`` opts
+#: into gating on them and ``--fix`` strips them.
+STALE_SUPPRESSION_CODE = "RPR903"
 
 _CODE_RE = re.compile(r"^RPR\d{3}$")
 _SUPPRESS_RE = re.compile(
@@ -95,17 +104,54 @@ class Diagnostic:
 
 
 @dataclasses.dataclass(frozen=True)
+class SuppressionEntry:
+    """One suppressed code slot of one ``# repro-lint:`` directive."""
+
+    line: int
+    #: ``"disable"`` (line-scoped) or ``"disable-file"`` (whole file).
+    kind: str
+    #: The suppressed rule code, or the literal ``"all"``.
+    code: str
+
+
+@dataclasses.dataclass(frozen=True)
 class Suppressions:
     """Per-file suppression table parsed from ``# repro-lint:`` comments."""
 
     by_line: dict[int, frozenset[str]]
     whole_file: frozenset[str]
+    #: Every directive slot in source order, for stale detection.  The
+    #: default keeps hand-built tables in tests working (they simply
+    #: opt out of staleness tracking).
+    entries: tuple[SuppressionEntry, ...] = ()
 
     def is_suppressed(self, line: int, code: str) -> bool:
         if "all" in self.whole_file or code in self.whole_file:
             return True
         codes = self.by_line.get(line, frozenset())
         return "all" in codes or code in codes
+
+    def match(self, line: int, code: str) -> SuppressionEntry | None:
+        """The entry suppressing ``(line, code)``, mirroring precedence.
+
+        Whole-file directives win over line directives (as in
+        :meth:`is_suppressed`); the matched entry is what stale
+        detection marks as *used*.  Falls back to a synthetic entry when
+        the table was built by hand without ``entries``.
+        """
+        for entry in self.entries:
+            if entry.kind == "disable-file" and entry.code in ("all", code):
+                return entry
+        for entry in self.entries:
+            if (
+                entry.kind == "disable"
+                and entry.line == line
+                and entry.code in ("all", code)
+            ):
+                return entry
+        if not self.entries and self.is_suppressed(line, code):
+            return SuppressionEntry(line=line, kind="disable", code=code)
+        return None
 
     def count(self) -> int:
         """Total suppressed codes — the quantity the baseline ratchets."""
@@ -114,16 +160,41 @@ class Suppressions:
         )
 
 
+def _iter_comments(source: str) -> Iterator[tuple[int, str]]:
+    """``(line, text)`` for every real comment token in the source.
+
+    Tokenizing (rather than scanning raw lines) keeps directive-shaped
+    text inside string literals — docstring examples, test fixtures —
+    from registering as live suppressions (and then as stale ones).
+    Falls back to a line scan when the file does not tokenize; the
+    engine reports the syntax error separately.
+    """
+    import io
+    import tokenize
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                yield lineno, text
+        return
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            yield token.start[0], token.string
+
+
 def parse_suppressions(source: str) -> tuple[Suppressions, list[tuple[int, str]]]:
-    """Scan source lines for suppression comments.
+    """Scan source comments for suppression directives.
 
     Returns the table plus ``(line, code)`` pairs for unknown codes so
     the caller can surface them as :data:`UNKNOWN_SUPPRESSION_CODE`.
     """
     by_line: dict[int, frozenset[str]] = {}
     whole_file: set[str] = set()
+    entries: list[SuppressionEntry] = []
     unknown: list[tuple[int, str]] = []
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    for lineno, text in _iter_comments(source):
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
@@ -136,11 +207,23 @@ def parse_suppressions(source: str) -> tuple[Suppressions, list[tuple[int, str]]
                 unknown.append((lineno, code))
                 continue
             codes.add(code)
-        if match.group("kind") == "disable-file":
+        kind = match.group("kind")
+        entries.extend(
+            SuppressionEntry(line=lineno, kind=kind, code=code)
+            for code in sorted(codes)
+        )
+        if kind == "disable-file":
             whole_file |= codes
         else:
             by_line[lineno] = frozenset(codes) | by_line.get(lineno, frozenset())
-    return Suppressions(by_line=by_line, whole_file=frozenset(whole_file)), unknown
+    return (
+        Suppressions(
+            by_line=by_line,
+            whole_file=frozenset(whole_file),
+            entries=tuple(entries),
+        ),
+        unknown,
+    )
 
 
 @dataclasses.dataclass
@@ -158,6 +241,9 @@ class ModuleContext:
     #: (``None`` only when a context is built by hand in tests).
     index: "ProjectIndex | None" = None
     _dataflow: "ModuleDataflow | None" = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    _arrays: "ModuleArrays | None" = dataclasses.field(
         default=None, repr=False, compare=False
     )
 
@@ -178,6 +264,15 @@ class ModuleContext:
                 index = build_index([self.tree])
             self._dataflow = analyze_module(self.tree, index)
         return self._dataflow
+
+    @property
+    def arrays(self) -> "ModuleArrays":
+        """Lazily computed float-semantics (array-kind) facet."""
+        if self._arrays is None:
+            from repro.lint.dataflow import analyze_arrays
+
+            self._arrays = analyze_arrays(self.tree)
+        return self._arrays
 
     def diagnostic(
         self, node: ast.AST, code: str, message: str
@@ -260,9 +355,11 @@ def _ensure_builtin_rules() -> None:
     _BUILTINS_LOADED = True
     # Importing the rule modules registers their rules as a side effect.
     from repro.lint import (  # noqa: F401
+        parity,
         rules_comparison,
         rules_contracts,
         rules_determinism,
+        rules_numpy,
         rules_units,
     )
 
@@ -276,6 +373,13 @@ class LintReport:
     #: Total inline/whole-file suppression slots across the linted files;
     #: the baseline ratchet refuses silent growth of this number.
     suppression_count: int = 0
+    #: Info-level :data:`STALE_SUPPRESSION_CODE` notes for suppression
+    #: slots that matched no finding in this run.  Kept out of
+    #: ``diagnostics`` so a stale note never flips ``ok`` — the CLI's
+    #: ``--fail-on-stale`` gates on it explicitly.
+    stale_suppressions: list[Diagnostic] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
@@ -309,6 +413,34 @@ class LintReport:
             )
         else:
             lines.append(f"no findings in {self.files_checked} file(s)")
+        if self.stale_suppressions:
+            lines.append("")
+            lines.append(
+                f"{len(self.stale_suppressions)} stale suppression(s) "
+                "(match no finding; remove with --fix):"
+            )
+            lines.extend(
+                f"  {diag.format_text()}" for diag in self.stale_suppressions
+            )
+        return "\n".join(lines)
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow commands — one annotation per finding.
+
+        Findings render as ``::error`` and stale-suppression notes as
+        ``::notice``, so a PR touched by the lint job shows each
+        finding inline at its file/line without any SARIF upload round
+        trip.  Escaping follows the workflow-command rules: ``%``,
+        ``\\r``, ``\\n`` in all fields; ``:`` and ``,`` additionally in
+        property values.
+        """
+        lines = [
+            _github_command("error", diag) for diag in self.diagnostics
+        ]
+        lines.extend(
+            _github_command("notice", diag)
+            for diag in self.stale_suppressions
+        )
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -319,9 +451,35 @@ class LintReport:
             "findings": [d.to_json() for d in self.diagnostics],
             "counts": self.counts_by_code(),
             "suppressions": self.suppression_count,
+            "stale_suppressions": [
+                d.to_json() for d in self.stale_suppressions
+            ],
             "ok": self.ok,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _github_escape_data(text: str) -> str:
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _github_escape_property(text: str) -> str:
+    return (
+        _github_escape_data(text).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def _github_command(level: str, diag: Diagnostic) -> str:
+    properties = ",".join(
+        f"{key}={_github_escape_property(value)}"
+        for key, value in (
+            ("file", diag.path),
+            ("line", str(diag.line)),
+            ("col", str(diag.col)),
+            ("title", diag.code),
+        )
+    )
+    return f"::{level} {properties}::{_github_escape_data(diag.message)}"
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -393,14 +551,22 @@ def lint_source(
         return report
     report.suppression_count = ctx.suppressions.count()
     selected = all_rules() if rules is None else tuple(rules)
-    report.diagnostics.extend(_run_rules([ctx], selected))
+    diagnostics, stale = _run_rules([ctx], selected)
+    report.diagnostics.extend(diagnostics)
     report.diagnostics.sort(key=Diagnostic.sort_key)
+    report.stale_suppressions = stale
     return report
 
 
 def _run_rules(
     modules: Sequence[ModuleContext], rules: Sequence[Rule]
-) -> list[Diagnostic]:
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Run rules, filter suppressed findings, and detect stale slots.
+
+    Returns ``(diagnostics, stale_suppressions)``: the surviving
+    findings, plus one :data:`STALE_SUPPRESSION_CODE` note per
+    suppression slot that matched no finding anywhere in the run.
+    """
     from repro.lint.index import build_index
 
     index = build_index([ctx.tree for ctx in modules])
@@ -409,6 +575,9 @@ def _run_rules(
     # A set: chained comparisons can trip the same rule twice at one
     # position; one finding per (position, code, message) is enough.
     out: set[Diagnostic] = set()
+    used: dict[int, set[SuppressionEntry]] = {
+        id(ctx): set() for ctx in modules
+    }
     per_module = [r for r in rules if not isinstance(r, ProjectRule)]
     project = [r for r in rules if isinstance(r, ProjectRule)]
     by_display = {ctx.display_path: ctx for ctx in modules}
@@ -417,16 +586,42 @@ def _run_rules(
             if ctx.is_test_code and not rule.run_on_tests:
                 continue
             for diag in rule.check_module(ctx):
-                if not ctx.suppressions.is_suppressed(diag.line, diag.code):
+                entry = ctx.suppressions.match(diag.line, diag.code)
+                if entry is None:
                     out.add(diag)
+                else:
+                    used[id(ctx)].add(entry)
     for rule in project:
         for diag in rule.check_project(modules):
             owner = by_display.get(diag.path)
-            if owner is None or not owner.suppressions.is_suppressed(
-                diag.line, diag.code
-            ):
+            entry = (
+                None
+                if owner is None
+                else owner.suppressions.match(diag.line, diag.code)
+            )
+            if owner is None or entry is None:
                 out.add(diag)
-    return sorted(out, key=Diagnostic.sort_key)
+            else:
+                used[id(owner)].add(entry)
+    stale: list[Diagnostic] = []
+    for ctx in modules:
+        for entry in ctx.suppressions.entries:
+            if entry in used[id(ctx)]:
+                continue
+            stale.append(
+                Diagnostic(
+                    path=ctx.display_path,
+                    line=entry.line,
+                    col=1,
+                    code=STALE_SUPPRESSION_CODE,
+                    message=(
+                        f"stale suppression: {entry.kind}={entry.code} "
+                        "matches no finding from this run"
+                    ),
+                )
+            )
+    stale.sort(key=Diagnostic.sort_key)
+    return sorted(out, key=Diagnostic.sort_key), stale
 
 
 def lint_paths(
@@ -454,6 +649,8 @@ def lint_paths(
         if ctx is not None:
             report.suppression_count += ctx.suppressions.count()
             modules.append(ctx)
-    report.diagnostics.extend(_run_rules(modules, selected))
+    diagnostics, stale = _run_rules(modules, selected)
+    report.diagnostics.extend(diagnostics)
     report.diagnostics.sort(key=Diagnostic.sort_key)
+    report.stale_suppressions = stale
     return report

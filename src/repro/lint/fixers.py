@@ -8,11 +8,15 @@ what a fix would look like (``--fix`` never selects them, regardless of
 flags, because an unsafe rewrite such as inventing an RNG seed changes
 simulated results).
 
-The one safe fixer rewrites raw comparisons flagged by RPR101/RPR102
-into the :mod:`repro.timeutils` predicates::
+Two safe fixers exist.  One rewrites raw comparisons flagged by
+RPR101/RPR102 into the :mod:`repro.timeutils` predicates::
 
     a < b          ->  time_lt(a, b)
     a != b         ->  (not time_eq(a, b))
+
+The other (:class:`StaleSuppressionFixer`) strips ``# repro-lint:``
+directives reported stale (RPR903) — removing a suppression that
+suppresses nothing is behaviour-preserving by definition.
 
 Chained comparisons (``a < b < c``) are skipped — splitting them is a
 judgement call.  Required predicate imports are merged into an existing
@@ -29,6 +33,7 @@ from __future__ import annotations
 import abc
 import ast
 import dataclasses
+import re
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -45,6 +50,7 @@ __all__ = [
     "FixOutcome",
     "Fixer",
     "SeededRngFixer",
+    "StaleSuppressionFixer",
     "TextEdit",
     "TolerantComparisonFixer",
     "all_fixers",
@@ -203,7 +209,89 @@ class SeededRngFixer(Fixer):
         return fixes
 
 
-_FIXERS: tuple[Fixer, ...] = (TolerantComparisonFixer(), SeededRngFixer())
+_STALE_MSG_RE = re.compile(
+    r"stale suppression: (?P<kind>disable|disable-file)=(?P<code>\S+) "
+)
+
+
+class StaleSuppressionFixer(Fixer):
+    """Strip ``# repro-lint:`` directives that match no live finding.
+
+    Safe by construction: removing a suppression that suppresses
+    nothing cannot change which findings are reported (the engine
+    re-run after ``--fix`` verifies exactly that).  When a directive
+    names several codes and only some are stale, the directive is
+    rebuilt with the surviving codes and its ``--`` note preserved;
+    when every code is stale the comment is removed outright (the whole
+    line, if the directive was the only thing on it).
+    """
+
+    name = "strip-stale-suppressions"
+    codes = frozenset({"RPR903"})
+    safe = True
+    description = (
+        "remove suppression directives (or single stale codes) that no "
+        "longer match any finding"
+    )
+
+    def plan(
+        self, ctx: ModuleContext, diagnostics: Sequence[Diagnostic]
+    ) -> list[PlannedFix]:
+        from repro.lint.engine import _SUPPRESS_RE
+
+        stale_by_line: dict[int, set[str]] = {}
+        for diag in diagnostics:
+            if diag.code not in self.codes:
+                continue
+            match = _STALE_MSG_RE.search(diag.message)
+            if match is not None:
+                stale_by_line.setdefault(diag.line, set()).add(
+                    match.group("code")
+                )
+        if not stale_by_line:
+            return []
+        fixes: list[PlannedFix] = []
+        lines = ctx.source.splitlines()
+        for lineno, stale_codes in sorted(stale_by_line.items()):
+            if lineno > len(lines):
+                continue
+            text = lines[lineno - 1]
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            directive_codes = {
+                raw.strip()
+                for raw in match.group("codes").split(",")
+                if raw.strip()
+            }
+            remaining = sorted(directive_codes - stale_codes)
+            note = text[match.end() :].strip()
+            comment_start = match.start()
+            ws_start = comment_start
+            while ws_start > 0 and text[ws_start - 1] in " \t":
+                ws_start -= 1
+            if remaining:
+                rebuilt = (
+                    f"# repro-lint: {match.group('kind')}="
+                    f"{','.join(remaining)}"
+                )
+                if note:
+                    rebuilt += f" -- {note}"
+                edit = TextEdit(lineno, comment_start, lineno, len(text), rebuilt)
+            elif ws_start == 0:
+                # Directive-only line: drop the whole line.
+                edit = TextEdit(lineno, 0, lineno + 1, 0, "")
+            else:
+                edit = TextEdit(lineno, ws_start, lineno, len(text), "")
+            fixes.append(PlannedFix(edit=edit))
+        return fixes
+
+
+_FIXERS: tuple[Fixer, ...] = (
+    TolerantComparisonFixer(),
+    SeededRngFixer(),
+    StaleSuppressionFixer(),
+)
 
 
 def all_fixers() -> tuple[Fixer, ...]:
@@ -306,7 +394,7 @@ def apply_fixes(
     base = Path(root) if root is not None else Path.cwd()
     report = lint_paths(paths, root=base)
     by_path: dict[str, list[Diagnostic]] = {}
-    for diag in report.diagnostics:
+    for diag in (*report.diagnostics, *report.stale_suppressions):
         by_path.setdefault(diag.path, []).append(diag)
     outcome = FixOutcome()
     for display, diagnostics in sorted(by_path.items()):

@@ -6,8 +6,10 @@ format code-review UIs ingest to annotate findings inline on a diff.
 minimal valid subset: one ``run`` whose tool driver carries the full
 rule metadata (so viewers can show rule names and help text without the
 repo checked out) and one ``result`` per diagnostic with a physical
-location.  ``tests/lint/test_sarif.py`` validates the output against the
-published 2.1.0 JSON schema.
+location.  Stale-suppression notes (RPR903) are emitted as ``note``
+level results so review UIs can show them without failing the check.
+``tests/lint/test_sarif.py`` validates the output against the published
+2.1.0 JSON schema.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from typing import Any
 
 from repro.lint.engine import (
     ENGINE_VERSION,
+    STALE_SUPPRESSION_CODE,
     SYNTAX_ERROR_CODE,
     UNKNOWN_SUPPRESSION_CODE,
     LintReport,
@@ -27,15 +30,24 @@ __all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif"]
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
-#: Engine-level pseudo-rules that have no Rule instance in the registry.
+#: Engine-level pseudo-rules that have no Rule instance in the registry:
+#: ``code -> (name, description, level)``.
 _ENGINE_RULES = {
     SYNTAX_ERROR_CODE: (
         "syntax-error",
         "the file failed to parse; nothing else was checked",
+        "error",
     ),
     UNKNOWN_SUPPRESSION_CODE: (
         "unknown-suppression",
         "a repro-lint suppression comment names an unknown rule code",
+        "error",
+    ),
+    STALE_SUPPRESSION_CODE: (
+        "stale-suppression",
+        "a repro-lint suppression no longer matches any finding; "
+        "remove it with `repro lint --fix`",
+        "note",
     ),
 }
 
@@ -51,13 +63,13 @@ def _rule_metadata() -> list[dict[str, Any]]:
                 "defaultConfiguration": {"level": "error"},
             }
         )
-    for code, (name, description) in sorted(_ENGINE_RULES.items()):
+    for code, (name, description, level) in sorted(_ENGINE_RULES.items()):
         rules.append(
             {
                 "id": code,
                 "name": name,
                 "shortDescription": {"text": description},
-                "defaultConfiguration": {"level": "error"},
+                "defaultConfiguration": {"level": level},
             }
         )
     return rules
@@ -68,10 +80,13 @@ def to_sarif(report: LintReport) -> dict[str, Any]:
     rules = _rule_metadata()
     index_of = {rule["id"]: i for i, rule in enumerate(rules)}
     results: list[dict[str, Any]] = []
-    for diag in report.diagnostics:
+    for diag, level in (
+        *((d, "error") for d in report.diagnostics),
+        *((d, "note") for d in report.stale_suppressions),
+    ):
         result: dict[str, Any] = {
             "ruleId": diag.code,
-            "level": "error",
+            "level": level,
             "message": {"text": diag.message},
             "locations": [
                 {

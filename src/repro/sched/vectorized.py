@@ -19,6 +19,8 @@ Hypothesis property tests (``tests/sched/test_vectorized_kernels.py``)
 enforce.  See ``docs/batch-simulation.md``.
 """
 
+# repro: float-doctrine -- the RPR4xx bit-exactness rules apply here.
+
 from __future__ import annotations
 
 from dataclasses import dataclass
@@ -70,7 +72,6 @@ def batch_time_le(a: FloatArray, b: FloatArray, eps: float = EPSILON) -> BoolArr
     the single-rounded difference decides.
     """
     diff = a - b
-    # repro-lint: disable=RPR101 -- mirrors time_cmp's exact equality fast path
     equal = (a == b) | (np.abs(diff) <= eps)
     result: BoolArray = equal | (diff < 0.0)
     return result

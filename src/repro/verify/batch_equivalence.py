@@ -80,7 +80,7 @@ _CLOSE_FIELDS: tuple[str, ...] = (
 def _close(a: float, b: float, atol: float) -> bool:
     if math.isnan(a) or math.isnan(b):
         return False
-    if a == b:  # repro-lint: disable=RPR101 -- fast path incl. infinities
+    if a == b:
         return True
     return abs(a - b) <= max(atol, atol * max(abs(a), abs(b)))
 

@@ -16,6 +16,7 @@ from repro.sched.registry import make_scheduler
 from repro.sim.simulator import HarvestingRtSimulator, SimulationConfig
 from repro.sim.tracing import TraceKind
 from repro.tasks.task import PeriodicTask, TaskSet
+from repro.timeutils import time_eq
 
 
 def tiny_factory(scheduler_name, capacity, seed):
@@ -94,7 +95,7 @@ class TestReplicationDriver:
         rep = run_replications(tiny_factory, "edf", 20.0, seeds=[0, 1, 2])
         assert len(rep.results) == 3
         assert rep.scheduler_name == "edf"
-        assert rep.capacity == 20.0
+        assert time_eq(rep.capacity, 20.0)
 
     def test_no_seeds_rejected(self):
         with pytest.raises(ValueError):
@@ -111,7 +112,7 @@ class TestCapacitySweepDriver:
         )
         assert len(points) == 2
         assert set(points[0].by_scheduler) == {"edf", "lsa"}
-        assert points[0].capacity == 5.0
+        assert time_eq(points[0].capacity, 5.0)
 
     def test_miss_rate_accessor(self):
         points = run_capacity_sweep(

@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis.parallel import RunSpec, parallel_miss_rates, run_parallel
 from repro.experiments.common import PaperSetup
+from repro.timeutils import time_eq
 
 FAST_SETUP = PaperSetup(horizon=400.0)
 
@@ -65,7 +66,7 @@ class TestParallelCapacitySweep:
         )
         assert len(parallel) == len(serial)
         for p, s in zip(parallel, serial):
-            assert p.capacity == s.capacity
+            assert time_eq(p.capacity, s.capacity)
             for name in ("lsa", "ea-dvfs"):
                 assert p.miss_rate(name) == pytest.approx(s.miss_rate(name))
 

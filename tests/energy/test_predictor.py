@@ -216,7 +216,7 @@ class TestProfilePredictor:
         assert [index for index, _ in segments] == [0, 1]
         sliver, rest = segments[0][1], segments[1][1]
         assert 0.0 < sliver < 1e-14
-        assert sliver + rest == t1 - t0  # repro-lint: disable=RPR101 -- exact coverage contract
+        assert sliver + rest == t1 - t0
 
     @given(
         t0=st.floats(min_value=0, max_value=1000),
@@ -251,7 +251,7 @@ class TestProfilePredictor:
             assert 0 <= index < n_bins
             assert duration > 0.0  # repro-lint: disable=RPR101 -- zero-length segments must never be yielded
             covered += duration
-        assert covered == t1 - t0  # repro-lint: disable=RPR101 -- exact coverage contract
+        assert covered == t1 - t0
         # Attribution: the first segment starts at t0, so it must be
         # charged to the bin containing t0.
         first_bin = min(int((t0 % period) / bin_width), n_bins - 1)

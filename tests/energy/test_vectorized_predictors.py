@@ -66,7 +66,7 @@ class TestLibmPow:
         expo = rng.uniform(0.0, 30.0, size=5000)
         out = _libm_pow(base, expo)
         for b, e, o in zip(base.tolist(), expo.tolist(), out.tolist()):
-            assert o == b**e  # repro-lint: disable=RPR101 -- bit-exact doctrine
+            assert o == b**e
 
     def test_array_power_is_not_trusted(self):
         # Documents WHY _libm_pow exists: numpy's vectorized np.power
@@ -90,7 +90,7 @@ class TestSpanPredict:
         out = batch_span_predict(estimate, t0, t1)
         assert out[0] == 0.0
         assert out[1] == 0.0
-        assert out[2] == 2.0 * (t1[2] - t0[2])  # repro-lint: disable=RPR101 -- bit-exact doctrine
+        assert out[2] == 2.0 * (t1[2] - t0[2])
 
     @given(windows=_window_strategy())
     @settings(max_examples=60, deadline=None)
@@ -118,12 +118,12 @@ class TestSpanPredict:
                     np.full(n, energy)[obs],
                 )
             for i, p in enumerate(lanes):
-                assert estimate[i] == p.estimate  # repro-lint: disable=RPR101 -- bit-exact doctrine
+                assert estimate[i] == p.estimate
         q0 = np.full(n, 3.0)
         q1 = np.full(n, 47.5)
         predicted = batch_span_predict(estimate, q0, q1)
         for i, p in enumerate(lanes):
-            assert predicted[i] == p.predict_energy(3.0, 47.5)  # repro-lint: disable=RPR101 -- bit-exact doctrine
+            assert predicted[i] == p.predict_energy(3.0, 47.5)
 
     @given(windows=_window_strategy())
     @settings(max_examples=60, deadline=None)
@@ -143,7 +143,7 @@ class TestSpanPredict:
                     duration[obs], np.full(n, energy)[obs]
                 )
             for i, p in enumerate(lanes):
-                assert estimate[i] == p.estimate  # repro-lint: disable=RPR101 -- bit-exact doctrine
+                assert estimate[i] == p.estimate
 
 
 class _ProfileLanes:
@@ -205,7 +205,7 @@ class _ProfileLanes:
             scalar_est = p.bin_estimates()
             scalar_seen = p.bin_seen()
             for b in range(p.n_bins):
-                assert self.estimates[i, b] == scalar_est[b]  # repro-lint: disable=RPR101 -- bit-exact doctrine
+                assert self.estimates[i, b] == scalar_est[b]
                 assert bool(self.seen[i, b]) == bool(scalar_seen[b])
 
     def assert_predict_bit_equal(self, t0: float, t1: float) -> None:
@@ -219,7 +219,7 @@ class _ProfileLanes:
             self.estimates,
         )
         for i, p in enumerate(self.scalars):
-            assert predicted[i] == p.predict_energy(t0, t1)  # repro-lint: disable=RPR101 -- bit-exact doctrine
+            assert predicted[i] == p.predict_energy(t0, t1)
 
 
 class TestProfileKernels:
@@ -279,7 +279,7 @@ class TestMeanObserveEdgeCases:
             np.asarray([1.0]),
             np.asarray([-5.0]),
         )
-        assert out[0] == scalar.estimate  # repro-lint: disable=RPR101 -- bit-exact doctrine
+        assert out[0] == scalar.estimate
 
     def test_alpha_one_jumps_to_observation(self):
         out = batch_mean_observe(

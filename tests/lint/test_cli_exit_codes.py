@@ -1,0 +1,166 @@
+"""Exit-code contract of ``repro lint`` end to end.
+
+The CLI promises 0 = clean, 1 = findings (or a tripped gate), 2 =
+usage/internal error.  These tests drive :func:`repro.cli.main` over a
+throwaway tree so the baseline ratchet, ``--fail-on-stale``, ``--fix``,
+and the ``--format github`` annotations are exercised exactly the way
+CI invokes them.
+"""
+
+import pytest
+
+from repro.cli import main
+
+#: One RPR101 finding: a time-named quantity compared to a float literal.
+FINDING = "done = duration == 0.0\n"
+
+#: A suppression matching no finding: stale (RPR903 note).
+STALE = "count = 1  # repro-lint: disable=RPR101 -- nothing to suppress\n"
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """Chdir into a throwaway tree with a src/repro package dir."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    monkeypatch.chdir(tmp_path)
+
+    def write(name: str, source: str) -> None:
+        (pkg / name).write_text(source, encoding="utf-8")
+
+    return write
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree):
+        tree("clean.py", "X = 1\n")
+        assert main(["lint", "src"]) == 0
+
+    def test_findings_exit_one(self, tree, capsys):
+        tree("dirty.py", FINDING)
+        assert main(["lint", "src"]) == 1
+        assert "RPR101" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tree, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_update_baseline_requires_baseline_path(self, tree, capsys):
+        tree("clean.py", "X = 1\n")
+        assert main(["lint", "src", "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+
+class TestBaselineRatchet:
+    def test_baselined_findings_pass(self, tree, capsys):
+        tree("dirty.py", FINDING)
+        assert (
+            main(
+                [
+                    "lint", "src", "--baseline", "base.json",
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["lint", "src", "--baseline", "base.json"]) == 0
+        assert "baseline check passed" in capsys.readouterr().out
+
+    def test_new_finding_fails_the_gate(self, tree, capsys):
+        tree("dirty.py", FINDING)
+        main(["lint", "src", "--baseline", "base.json", "--update-baseline"])
+        tree("worse.py", FINDING)
+        capsys.readouterr()
+        assert main(["lint", "src", "--baseline", "base.json"]) == 1
+        assert "new finding(s)" in capsys.readouterr().out
+
+    def test_update_on_clean_tree_writes_empty_baseline(self, tree, capsys):
+        tree("clean.py", "X = 1\n")
+        assert (
+            main(
+                [
+                    "lint", "src", "--baseline", "base.json",
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert "0 finding(s)" in capsys.readouterr().out
+        assert main(["lint", "src", "--baseline", "base.json"]) == 0
+
+    def test_suppression_growth_fails_the_gate(self, tree, capsys):
+        tree("clean.py", "X = 1\n")
+        main(["lint", "src", "--baseline", "base.json", "--update-baseline"])
+        tree(
+            "hushed.py",
+            "done = duration == 0.0  "
+            "# repro-lint: disable=RPR101 -- exact by construction\n",
+        )
+        capsys.readouterr()
+        assert main(["lint", "src", "--baseline", "base.json"]) == 1
+        assert "suppression count grew" in capsys.readouterr().out
+
+
+class TestFailOnStale:
+    def test_stale_is_a_note_by_default(self, tree, capsys):
+        tree("hushed.py", STALE)
+        assert main(["lint", "src"]) == 0
+        assert "stale suppression" in capsys.readouterr().out
+
+    def test_fail_on_stale_exits_one(self, tree, capsys):
+        tree("hushed.py", STALE)
+        assert main(["lint", "src", "--fail-on-stale"]) == 1
+        assert "repro lint --fix" in capsys.readouterr().err
+
+    def test_fix_strips_stale_then_gate_passes(self, tree, capsys):
+        tree("hushed.py", STALE)
+        assert main(["lint", "src", "--fix"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "src", "--fail-on-stale"]) == 0
+        report = capsys.readouterr().out
+        assert "stale suppression" not in report
+
+    def test_fail_on_stale_composes_with_baseline(self, tree, capsys):
+        tree("hushed.py", STALE)
+        main(["lint", "src", "--baseline", "base.json", "--update-baseline"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "lint", "src", "--baseline", "base.json",
+                    "--fail-on-stale",
+                ]
+            )
+            == 1
+        )
+
+
+class TestGithubFormat:
+    def test_finding_renders_error_command(self, tree, capsys):
+        tree("dirty.py", FINDING)
+        assert main(["lint", "src", "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert (
+            "::error file=src/repro/dirty.py,line=1,col=8,"
+            "title=RPR101::" in out
+        )
+
+    def test_stale_renders_notice_command(self, tree, capsys):
+        tree("hushed.py", STALE)
+        assert main(["lint", "src", "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::notice file=src/repro/hushed.py" in out
+        assert "title=RPR903" in out
+
+    def test_clean_tree_prints_nothing(self, tree, capsys):
+        tree("clean.py", "X = 1\n")
+        assert main(["lint", "src", "--format", "github"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_newlines_escape_into_one_command_line(self, tree, capsys):
+        tree("dirty.py", FINDING)
+        main(["lint", "src", "--format", "github"])
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            assert line.startswith("::")

@@ -1,0 +1,496 @@
+"""Tests for the float-determinism doctrine rules (RPR401-RPR405).
+
+The family is opt-in per module via the ``# repro: float-doctrine``
+pragma, so every positive case here carries the pragma and the gating
+tests prove that prose mentions and trailing comments do *not* opt a
+module in.  All checks ride on the conservative array-kind facet
+(:func:`repro.lint.dataflow.analyze_arrays`): annotations like
+``FloatArray``/``IntArray`` and numpy constructors are the only sources
+of positive knowledge, so unannotated code stays silent.
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.rules_numpy import (
+    DEFAULT_DIVERGENT_UFUNCS,
+    SimdDivergentUfuncRule,
+)
+
+PRAGMA = "# repro: float-doctrine\n"
+
+
+def doctrine(snippet: str) -> str:
+    """Prefix a dedented snippet with the doctrine pragma."""
+    return PRAGMA + textwrap.dedent(snippet)
+
+
+class TestDoctrineGating:
+    SNIPPET = """
+        import numpy as np
+
+        def total(values: FloatArray) -> float:
+            return np.sum(values)
+    """
+
+    def test_pragma_opts_in(self, codes_in):
+        assert codes_in(doctrine(self.SNIPPET)) == ["RPR401"]
+
+    def test_without_pragma_rules_stay_silent(self, codes_in):
+        assert codes_in(self.SNIPPET) == []
+
+    def test_prose_mention_does_not_opt_in(self, codes_in):
+        snippet = (
+            '"""Module prose referring to the # repro: float-doctrine '
+            'pragma."""\n' + textwrap.dedent(self.SNIPPET)
+        )
+        assert codes_in(snippet) == []
+
+    def test_trailing_comment_does_not_opt_in(self, codes_in):
+        snippet = (
+            "X = 1  # repro: float-doctrine\n"
+            + textwrap.dedent(self.SNIPPET)
+        )
+        assert codes_in(snippet) == []
+
+    def test_relaxed_under_tests(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(self.SNIPPET), filename="tests/lint/fake.py"
+            )
+            == []
+        )
+
+
+class TestUnorderedReduction:
+    def test_np_sum_over_float_array(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def total(values: FloatArray) -> float:
+                        return np.sum(values)
+                    """
+                )
+            )
+            == ["RPR401"]
+        )
+
+    def test_sum_method_on_float_array(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def total(values: FloatArray) -> float:
+                        return values.sum()
+                    """
+                )
+            )
+            == ["RPR401"]
+        )
+
+    def test_matmul_operator(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def combine(a: FloatArray, b: FloatArray) -> FloatArray:
+                        return a @ b
+                    """
+                )
+            )
+            == ["RPR401"]
+        )
+
+    def test_cumsum_is_the_pinned_idiom(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def running(values: FloatArray) -> FloatArray:
+                        return np.cumsum(values)
+                    """
+                )
+            )
+            == []
+        )
+
+    def test_order_insensitive_reductions_allowed(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def peak(values: FloatArray) -> float:
+                        return np.max(values)
+                    """
+                )
+            )
+            == []
+        )
+
+    def test_int_array_sum_is_exact(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def total(counts: IntArray) -> int:
+                        return np.sum(counts)
+                    """
+                )
+            )
+            == []
+        )
+
+
+class TestSimdDivergentUfunc:
+    def test_np_power_flagged(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def square(values: FloatArray) -> FloatArray:
+                        return np.power(values, 2.0)
+                    """
+                )
+            )
+            == ["RPR402"]
+        )
+
+    def test_star_star_on_float_array_flagged(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def square(values: FloatArray) -> FloatArray:
+                        return values ** 2.0
+                    """
+                )
+            )
+            == ["RPR402"]
+        )
+
+    def test_scalar_pow_allowed(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def cube(x: float) -> float:
+                        return x ** 3.0
+                    """
+                )
+            )
+            == []
+        )
+
+    def test_sqrt_is_correctly_rounded(self, codes_in):
+        assert "sqrt" not in DEFAULT_DIVERGENT_UFUNCS
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def root(values: FloatArray) -> FloatArray:
+                        return np.sqrt(values)
+                    """
+                )
+            )
+            == []
+        )
+
+    def test_table_is_configurable(self):
+        source = doctrine(
+            """
+            import numpy as np
+
+            def f(values: FloatArray) -> FloatArray:
+                return np.power(values, np.exp(values))
+            """
+        )
+        report = lint_source(
+            source,
+            filename="src/repro/fake.py",
+            rules=[SimdDivergentUfuncRule(frozenset({"exp"}))],
+        )
+        messages = [d.message for d in report.diagnostics]
+        assert len(messages) == 1
+        assert "np.exp" in messages[0]
+
+
+class TestDtypePromotion:
+    def test_int_array_into_float_arithmetic(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def scale(values: FloatArray, counts: IntArray) -> FloatArray:
+                        return values * counts
+                    """
+                )
+            )
+            == ["RPR403"]
+        )
+
+    def test_astype_pins_the_conversion(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def scale(values: FloatArray, counts: IntArray) -> FloatArray:
+                        return values * counts.astype(np.float64)
+                    """
+                )
+            )
+            == []
+        )
+
+    def test_float_scalar_broadcast_allowed(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def scale(values: FloatArray, factor: float) -> FloatArray:
+                        return values * factor
+                    """
+                )
+            )
+            == []
+        )
+
+    def test_non_float64_dtype_attribute(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    HALF = np.float32
+                    """
+                )
+            )
+            == ["RPR403"]
+        )
+
+    def test_non_float64_dtype_string(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def buf(n: int):
+                        return np.zeros(n, dtype="float32")
+                    """
+                )
+            )
+            == ["RPR403"]
+        )
+
+
+class TestUnstableSort:
+    def test_np_sort_default_kind(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def order(values: FloatArray) -> FloatArray:
+                        return np.sort(values)
+                    """
+                )
+            )
+            == ["RPR404"]
+        )
+
+    def test_np_argsort_default_kind(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def ranks(values: FloatArray):
+                        return np.argsort(values)
+                    """
+                )
+            )
+            == ["RPR404"]
+        )
+
+    def test_stable_kind_allowed(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def order(values: FloatArray) -> FloatArray:
+                        return np.sort(values, kind="stable")
+                    """
+                )
+            )
+            == []
+        )
+
+    def test_argsort_method_on_array(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def ranks(values: FloatArray):
+                        return values.argsort()
+                    """
+                )
+            )
+            == ["RPR404"]
+        )
+
+    def test_list_sort_is_already_stable(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def order(items):
+                        ordered = list(items)
+                        ordered.sort()
+                        return ordered
+                    """
+                )
+            )
+            == []
+        )
+
+
+class TestInPlaceParamMutation:
+    def test_subscript_store_through_param(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def clamp(values: FloatArray) -> FloatArray:
+                        values[0] = 0.0
+                        return values
+                    """
+                )
+            )
+            == ["RPR405"]
+        )
+
+    def test_store_through_view_alias(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def clamp(values: FloatArray) -> FloatArray:
+                        flat = values.reshape(-1)
+                        flat[0] = 0.0
+                        return values
+                    """
+                )
+            )
+            == ["RPR405"]
+        )
+
+    def test_out_kwarg_targets_param(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def bump(values: FloatArray) -> FloatArray:
+                        np.add(values, 1.0, out=values)
+                        return values
+                    """
+                )
+            )
+            == ["RPR405"]
+        )
+
+    def test_inplace_method_on_param(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    def reset(values: FloatArray) -> None:
+                        values.fill(0.0)
+                    """
+                )
+            )
+            == ["RPR405"]
+        )
+
+    def test_docstring_contract_opts_out(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    '''
+                    def reset(values: FloatArray) -> None:
+                        """Zero the buffer in place (caller owns it)."""
+                        values.fill(0.0)
+                    '''
+                )
+            )
+            == []
+        )
+
+    def test_local_array_stores_allowed(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def build(n: int) -> FloatArray:
+                        out = np.zeros(n, dtype=np.float64)
+                        out[0] = 1.0
+                        return out
+                    """
+                )
+            )
+            == []
+        )
+
+    def test_self_attribute_stores_allowed(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    class Box:
+                        def put(self, x: float) -> None:
+                            self.slots[0] = x
+                    """
+                )
+            )
+            == []
+        )
+
+
+class TestSuppression:
+    def test_doctrine_finding_is_suppressible(self, codes_in):
+        assert (
+            codes_in(
+                doctrine(
+                    """
+                    import numpy as np
+
+                    def envelope(values: FloatArray) -> FloatArray:
+                        return np.cos(values)  # repro-lint: disable=RPR402 -- verified against libm
+                    """
+                )
+            )
+            == []
+        )

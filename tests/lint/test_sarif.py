@@ -160,8 +160,33 @@ def _report():
                 code="RPR901",
                 message="syntax error: invalid syntax",
             ),
+            Diagnostic(
+                path="src/repro/sim/batch.py",
+                line=160,
+                col=17,
+                code="RPR403",
+                message="int array promotes silently into float arithmetic",
+            ),
+            Diagnostic(
+                path="src/repro/sched/vectorized.py",
+                line=140,
+                col=1,
+                code="RPR410",
+                message="`batch_compute_plan` diverged from the pinned "
+                "batch float-op sequence of pair 'compute-plan'",
+            ),
         ],
-        files_checked=2,
+        stale_suppressions=[
+            Diagnostic(
+                path="src/repro/energy/predictor.py",
+                line=30,
+                col=1,
+                code="RPR903",
+                message="stale suppression: disable=RPR101 matches no "
+                "finding from this run",
+            ),
+        ],
+        files_checked=4,
     )
 
 
@@ -204,4 +229,33 @@ class TestSarif:
     def test_engine_pseudo_rules_have_metadata(self):
         rules = to_sarif(_report())["runs"][0]["tool"]["driver"]["rules"]
         ids = {rule["id"] for rule in rules}
-        assert {"RPR901", "RPR902"} <= ids
+        assert {"RPR901", "RPR902", "RPR903"} <= ids
+
+    def test_float_determinism_rules_have_metadata(self):
+        rules = to_sarif(_report())["runs"][0]["tool"]["driver"]["rules"]
+        by_id = {rule["id"]: rule for rule in rules}
+        for code in ("RPR401", "RPR402", "RPR403", "RPR404", "RPR405",
+                     "RPR410"):
+            assert code in by_id, code
+            assert by_id[code]["shortDescription"]["text"]
+            assert by_id[code]["defaultConfiguration"]["level"] == "error"
+
+    def test_rpr4xx_results_validate_and_resolve(self):
+        sarif = to_sarif(_report())
+        jsonschema.validate(sarif, SARIF_SUBSET_SCHEMA)
+        run = sarif["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        by_code = {res["ruleId"]: res for res in run["results"]}
+        for code in ("RPR403", "RPR410"):
+            result = by_code[code]
+            assert result["level"] == "error"
+            assert rule_ids[result["ruleIndex"]] == code
+
+    def test_stale_suppressions_emit_note_results(self):
+        sarif = to_sarif(_report())
+        run = sarif["runs"][0]
+        notes = [r for r in run["results"] if r["ruleId"] == "RPR903"]
+        assert len(notes) == 1
+        assert notes[0]["level"] == "note"
+        rules = {rule["id"]: rule for rule in run["tool"]["driver"]["rules"]}
+        assert rules["RPR903"]["defaultConfiguration"]["level"] == "note"

@@ -1,14 +1,15 @@
 """The linter is self-hosted: the shipped tree must stay clean.
 
-``src/`` and ``benchmarks/`` carry zero findings outright.  ``tests/``
-is linted under the relaxed profile and its accepted findings (exact
-pytest assertions, mostly RPR101/RPR102) are pinned in the committed
-``lint-baseline.json`` — the full default tree must be baseline-clean,
-so a change may not introduce new findings anywhere nor grow the
-suppression count.  If a change trips this, either fix the violation or
-add an inline suppression (``disable=<code> -- why``) with a
-justification and regenerate the baseline (see
-``docs/static-analysis.md``).
+``src/``, ``benchmarks/``, and ``examples/`` carry zero findings
+outright.  ``tests/`` is linted under the relaxed profile and its
+accepted findings (exact pytest assertions, mostly RPR101/RPR102) are
+pinned in the committed ``lint-baseline.json`` — the full default tree
+must be baseline-clean, so a change may not introduce new findings
+anywhere nor grow the suppression count, and no suppression may go
+stale (CI runs with ``--fail-on-stale``).  If a change trips this,
+either fix the violation or add an inline suppression
+(``disable=<code> -- why``) with a justification and regenerate the
+baseline (see ``docs/static-analysis.md``).
 """
 
 from pathlib import Path
@@ -17,11 +18,23 @@ from repro.lint import Baseline, lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
+DEFAULT_TREE = [
+    REPO_ROOT / "src",
+    REPO_ROOT / "benchmarks",
+    REPO_ROOT / "examples",
+    REPO_ROOT / "tests",
+]
+
 
 class TestSelfHost:
-    def test_src_and_benchmarks_are_clean(self):
+    def test_src_benchmarks_examples_are_clean(self):
         report = lint_paths(
-            [REPO_ROOT / "src", REPO_ROOT / "benchmarks"], root=REPO_ROOT
+            [
+                REPO_ROOT / "src",
+                REPO_ROOT / "benchmarks",
+                REPO_ROOT / "examples",
+            ],
+            root=REPO_ROOT,
         )
         assert report.files_checked > 80
         assert report.ok, "\n" + report.format_text()
@@ -34,13 +47,16 @@ class TestSelfHost:
 
     def test_default_tree_is_baseline_clean(self):
         """The CI gate: no new findings vs the committed baseline."""
-        report = lint_paths(
-            [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "tests"],
-            root=REPO_ROOT,
-        )
+        report = lint_paths(DEFAULT_TREE, root=REPO_ROOT)
         baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
         comparison = baseline.compare(report)
         assert comparison.ok, "\n" + comparison.format_text()
+
+    def test_no_stale_suppressions(self):
+        """CI runs with --fail-on-stale; the tree must satisfy it."""
+        report = lint_paths(DEFAULT_TREE, root=REPO_ROOT)
+        stale = "\n".join(d.format_text() for d in report.stale_suppressions)
+        assert not report.stale_suppressions, "\n" + stale
 
     def test_baselined_findings_are_only_comparison_codes(self):
         """The baseline may pin relaxed-profile comparison findings in

@@ -127,13 +127,13 @@ def test_batch_compute_plan_matches_scalar(lane_params):
         # Bit-exact on purpose: both sides perform identical float64
         # operations, so any difference is a real kernel divergence.
         assert level == scalar.level
-        assert plan.s1[i] == scalar.s1  # repro-lint: disable=RPR101,RPR102 -- bit-exact kernel contract
-        assert plan.s2[i] == scalar.s2  # repro-lint: disable=RPR101,RPR102 -- bit-exact kernel contract
-        assert plan.start_at[i] == scalar.start_at  # repro-lint: disable=RPR101,RPR102 -- bit-exact kernel contract
+        assert plan.s1[i] == scalar.s1  # repro-lint: disable=RPR102 -- bit-exact kernel contract
+        assert plan.s2[i] == scalar.s2  # repro-lint: disable=RPR102 -- bit-exact kernel contract
+        assert plan.start_at[i] == scalar.start_at  # repro-lint: disable=RPR102 -- bit-exact kernel contract
         if scalar.switch_to_max_at is None:
             assert math.isnan(plan.switch_at[i])
         else:
-            assert plan.switch_at[i] == scalar.switch_to_max_at  # repro-lint: disable=RPR101,RPR102 -- bit-exact kernel contract
+            assert plan.switch_at[i] == scalar.switch_to_max_at  # repro-lint: disable=RPR102 -- bit-exact kernel contract
         assert bool(plan.sufficient_energy[i]) == scalar.sufficient_energy
         assert bool(plan.deadline_reachable[i]) == scalar.deadline_reachable
 
@@ -223,13 +223,13 @@ def test_batch_decide_matches_decision_oracles(lane_params, kinds, fulls):
                 if expected.switch_to_max_at is None:
                     assert math.isnan(decision.switch_at[i])
                 else:
-                    assert decision.switch_at[i] == expected.switch_to_max_at  # repro-lint: disable=RPR101,RPR102 -- bit-exact kernel contract
+                    assert decision.switch_at[i] == expected.switch_to_max_at  # repro-lint: disable=RPR102 -- bit-exact kernel contract
         else:
             assert not bool(decision.run[i]), (
                 f"lane {i}: expected idle until "
                 f"{expected.reconsider_at!r}, got run"
             )
-            assert decision.reconsider_at[i] == expected.reconsider_at  # repro-lint: disable=RPR101,RPR102 -- bit-exact kernel contract
+            assert decision.reconsider_at[i] == expected.reconsider_at  # repro-lint: disable=RPR102 -- bit-exact kernel contract
 
 
 # -- edge cases -----------------------------------------------------------
@@ -255,8 +255,8 @@ class TestEdgeCases:
         )
         scalar = compute_plan(10.0, 60.0, 8.0, 40.0, SCALE)
         assert SCALE.levels[int(plan.level[0])] == scalar.level
-        assert plan.s1[0] == scalar.s1  # repro-lint: disable=RPR101,RPR102 -- bit-exact kernel contract
-        assert plan.s2[0] == scalar.s2  # repro-lint: disable=RPR101,RPR102 -- bit-exact kernel contract
+        assert plan.s1[0] == scalar.s1  # repro-lint: disable=RPR102 -- bit-exact kernel contract
+        assert plan.s2[0] == scalar.s2  # repro-lint: disable=RPR102 -- bit-exact kernel contract
 
     def test_all_lanes_miss_run_best_effort_at_max(self):
         # Deadlines already passed: unreachable lanes run at full speed
@@ -339,10 +339,10 @@ class TestNumpyAccumulationContract:
         total = 0.0
         for value in values:
             total += value
-        assert np.cumsum(row)[-1] == total  # repro-lint: disable=RPR101 -- pins numpy summation order
+        assert np.cumsum(row)[-1] == total
 
         block = np.tile(row, (3, 1))
-        assert (np.cumsum(block, axis=1)[:, -1] == total).all()  # repro-lint: disable=RPR101 -- pins numpy summation order
+        assert (np.cumsum(block, axis=1)[:, -1] == total).all()
 
     def test_masked_zero_add_is_identity(self):
         rng = np.random.default_rng(1234)
@@ -353,7 +353,7 @@ class TestNumpyAccumulationContract:
         total = 0.0
         for i in range(0, 500, 2):
             total += values[i]
-        assert np.cumsum(contribution)[-1] == total  # repro-lint: disable=RPR101 -- pins numpy summation order
+        assert np.cumsum(contribution)[-1] == total
 
     def test_rng_vector_draw_matches_sequential(self):
         """One vectorized draw == n sequential draws (same seed).
@@ -366,7 +366,7 @@ class TestNumpyAccumulationContract:
             [np.random.default_rng(7).standard_normal(64)[i]
              for i in range(64)]
         )
-        assert (vector == sequential).all()  # repro-lint: disable=RPR101 -- pins numpy rng stream
+        assert (vector == sequential).all()
 
     @settings(max_examples=50, deadline=None)
     @given(
@@ -390,7 +390,7 @@ class TestNumpyAccumulationContract:
         b = np.asarray([p[1] for p in pairs])
         out = np.mod(a, b)
         for x, y, o in zip(a.tolist(), b.tolist(), out.tolist()):
-            assert o == x % y  # repro-lint: disable=RPR101 -- pins numpy modulo
+            assert o == x % y
 
     @settings(max_examples=50, deadline=None)
     @given(
@@ -411,7 +411,7 @@ class TestNumpyAccumulationContract:
         row = np.asarray(values)
         out = np.nextafter(row, target)
         for x, o in zip(values, out.tolist()):
-            assert o == math.nextafter(x, target)  # repro-lint: disable=RPR101 -- pins numpy nextafter
+            assert o == math.nextafter(x, target)
 
     @settings(max_examples=50, deadline=None)
     @given(
@@ -440,6 +440,16 @@ class TestNumpyAccumulationContract:
         :func:`repro.energy.vectorized._libm_pow` (element-wise libm),
         which IS bit-compatible.  If the first assertion ever fails,
         np.power became bit-exact and ``_libm_pow`` can be retired.
+
+        The static side of this contract is RPR402: ``np.power`` sits in
+        ``repro.lint.rules_numpy.DEFAULT_DIVERGENT_UFUNCS``, so a
+        doctrine module cannot call it without a justified suppression.
+        Retiring ``_libm_pow`` therefore takes one PR that (1) shows
+        this canary's divergence assertion failing, (2) drops ``power``/
+        ``float_power`` from the ufunc table, and (3) refreshes the
+        affected parity pins (``python -m repro.lint.parity --print``) —
+        the ``pow`` vs ``pow[simd]`` fingerprint tokens are deliberately
+        distinct so the swap cannot happen silently.
         """
         from repro.energy.vectorized import _libm_pow
 
@@ -452,4 +462,4 @@ class TestNumpyAccumulationContract:
         for b, e, o in zip(
             base[:2000].tolist(), expo[:2000].tolist(), libm[:2000].tolist()
         ):
-            assert o == b**e  # repro-lint: disable=RPR101 -- pins libm pow bit-compat
+            assert o == b**e

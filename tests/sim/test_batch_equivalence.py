@@ -215,9 +215,9 @@ class TestArrayJobGeneration:
             for i, job in enumerate(jobs):
                 # Bit-exact: the array path performs the same int*float
                 # arithmetic as the scalar release generator.
-                assert jrelease[i] == job.release  # repro-lint: disable=RPR101 -- bit-exact generator mirror
-                assert jdeadline[i] == job.absolute_deadline  # repro-lint: disable=RPR101 -- bit-exact generator mirror
-                assert jwork[i] == job.wcet  # repro-lint: disable=RPR101 -- bit-exact generator mirror
+                assert jrelease[i] == job.release
+                assert jdeadline[i] == job.absolute_deadline
+                assert jwork[i] == job.wcet
                 assert task_names[int(jtask[i])] == job.task.name
 
     def test_non_periodic_taskset_returns_none(self):

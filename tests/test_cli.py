@@ -114,7 +114,7 @@ class TestLintCommand:
 
     def test_defaults(self):
         args = build_parser().parse_args(["lint"])
-        assert args.paths == ["src", "benchmarks", "tests"]
+        assert args.paths == ["src", "benchmarks", "examples", "tests"]
         assert args.output_format == "text"
         assert args.baseline is None
         assert not args.update_baseline
