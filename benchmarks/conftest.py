@@ -27,8 +27,10 @@ def report():
     """Callable writing a rendered experiment result to screen + file."""
 
     def _report(name: str, text: str) -> None:
+        from repro.serialization import atomic_write_text
+
         RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
         banner = "=" * 72
         print(f"\n{banner}\n{name}\n{banner}\n{text}\n", file=sys.__stdout__)
 

@@ -171,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-fixers", action="store_true",
         help="list the registered fixers (and their safety) and exit",
     )
+    lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan per-module rules out over N worker processes "
+        "(finding order stays deterministic; default 1)",
+    )
+    lint.add_argument(
+        "--certify", action="store_true",
+        help="print the purity certification report for the "
+        "purity-roots.toml hash-closure roots and exit",
+    )
+    lint.add_argument(
+        "--explain-path", metavar="CODE:FUNC",
+        help="print the call chain from a hash-closure root to the "
+        "taint a RPR50x code flags, e.g. "
+        "RPR501:repro/runtime/journal.py::spec_hash",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -461,6 +477,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("error: --update-baseline requires --baseline PATH",
               file=sys.stderr)
         return 2
+    if args.certify or args.explain_path:
+        from repro.lint.purity import certify_cli, explain_cli
+
+        try:
+            if args.explain_path:
+                return explain_cli(args.explain_path, args.paths)
+            return certify_cli(args.paths)
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         if args.fix:
             outcome = apply_fixes(args.paths)
@@ -474,7 +500,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             assert outcome.report_after is not None
             report = outcome.report_after
         else:
-            report = lint_paths(args.paths)
+            report = lint_paths(args.paths, jobs=args.jobs)
         if args.update_baseline:
             Baseline.from_report(report).save(args.baseline)
             print(

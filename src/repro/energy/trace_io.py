@@ -22,6 +22,7 @@ samples.  This module turns such logs into simulator sources:
 from __future__ import annotations
 
 import csv
+import io
 import math
 import warnings
 from pathlib import Path
@@ -257,10 +258,15 @@ def save_power_csv(
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be > 0, got {horizon!r}")
+    # Imported here: repro.serialization pulls in the simulator, which
+    # circles back into repro.energy during package initialization.
+    from repro.serialization import atomic_write_text
+
     powers = source.sample(0.0, horizon, step=step)
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["time", "power"])
-        for i, power in enumerate(powers):
-            writer.writerow([repr(i * step), repr(float(power))])
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time", "power"])
+    for i, power in enumerate(powers):
+        writer.writerow([repr(i * step), repr(float(power))])
+    atomic_write_text(path, buffer.getvalue(), newline="")
     return int(powers.size)

@@ -26,6 +26,15 @@ RPR403     no silent int→float dtype promotion in doctrine modules
 RPR404     sorts on float arrays must request a stable kind
 RPR405     doctrine kernels must not mutate caller-owned input arrays
 RPR410     scalar↔batch parity: twin missing or float-ops drifted from pin
+RPR501     no wall-clock read reachable from a hash-closure root
+RPR502     no unseeded/global randomness reachable from a hash-closure root
+RPR503     no env/filesystem access reachable from a hash-closure root
+RPR504     no set-order-dependent iteration reachable from a hash-closure root
+RPR505     no id()/hash()/locale or global mutation in the hash closure
+RPR506     file writes use the atomic write-temp/fsync/rename protocol
+RPR507     no ``os.replace``/``os.rename`` without fsyncing the payload
+RPR508     worker-submitted functions must not mutate module-global state
+RPR509     worker-submitted functions must not use an import-time RNG
 RPR901     (engine) file failed to parse
 RPR902     (engine) suppression names an unknown rule code
 RPR903     (engine) suppression matches no finding (stale)
@@ -47,6 +56,16 @@ arrays so the rules stay quiet elsewhere.  The parity checker
 scalar decision function and its vectorized twin and raises RPR410 when
 either side drifts from its pin.
 
+The purity family (RPR5xx, :mod:`repro.lint.rules_purity`) is
+*interprocedural*: a cross-module call graph
+(:mod:`repro.lint.callgraph`) plus a fixed-point taint analysis
+(:mod:`repro.lint.purity`) certify the determinism boundaries declared
+in ``purity-roots.toml`` — the ``canonical_json``/``spec_hash`` hash
+closure, the atomic-commit write path, and the worker process boundary.
+``repro lint --certify`` prints the certification report and
+``repro lint --explain-path RPR501:<func>`` shows the call chain from a
+root to a flagged taint.
+
 Suppress a finding with an inline ``# repro-lint: disable=RPR101`` (or
 ``disable-file=`` for the whole file), ideally followed by a short
 ``-- why`` note.  CI ratchets the suppression count and the finding set
@@ -62,6 +81,7 @@ from repro.lint.dataflow import (
     analyze_arrays,
     analyze_module,
 )
+from repro.lint.callgraph import CallGraph, build_call_graph
 from repro.lint.engine import (
     ENGINE_VERSION,
     Diagnostic,
@@ -71,6 +91,7 @@ from repro.lint.engine import (
     all_rules,
     lint_paths,
     lint_source,
+    load_modules,
     register_rule,
     ruleset_codes,
 )
@@ -78,6 +99,15 @@ from repro.lint.fixers import apply_fixes
 from repro.lint.index import ProjectIndex, build_index
 from repro.lint.naming import Dimension, infer_dimension
 from repro.lint.parity import PAIRS, FunctionRef, ParityPair
+from repro.lint.purity import (
+    PurityAnalysis,
+    PurityClass,
+    Taint,
+    analyze as analyze_purity,
+    certify,
+    load_manifest,
+    parse_manifest,
+)
 from repro.lint.sarif import to_sarif
 
 __all__ = [
@@ -86,6 +116,7 @@ __all__ = [
     "ArrayKind",
     "Baseline",
     "BaselineComparison",
+    "CallGraph",
     "Diagnostic",
     "Dimension",
     "FunctionRef",
@@ -95,15 +126,24 @@ __all__ = [
     "ModuleDataflow",
     "ParityPair",
     "ProjectIndex",
+    "PurityAnalysis",
+    "PurityClass",
     "Rule",
+    "Taint",
     "all_rules",
     "analyze_arrays",
     "analyze_module",
+    "analyze_purity",
     "apply_fixes",
+    "build_call_graph",
     "build_index",
+    "certify",
     "infer_dimension",
     "lint_paths",
     "lint_source",
+    "load_manifest",
+    "load_modules",
+    "parse_manifest",
     "register_rule",
     "ruleset_codes",
     "to_sarif",

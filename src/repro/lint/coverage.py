@@ -1,0 +1,49 @@
+"""Shared coverage-assertion helper for registry-style nightly gates.
+
+Two gates compare a *required* set against a *covered* set and fail on
+any gap: ``python -m repro.lint.parity --coverage`` (every batch
+scheduler must have a parity pair) and
+``python -m repro.lint.purity --coverage`` (every hash-closure root in
+``purity-roots.toml`` must certify deterministic).  Both previously
+needed the same walk/diff/report skeleton; this module is the single
+implementation.
+
+The exit-code contract matches the original parity gate: missing items
+return 1, unexpected extras alone also return 1 (after reporting), and
+full coverage returns 0 with a one-line success message.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = ["check_coverage"]
+
+
+def check_coverage(
+    required: Iterable[str],
+    covered: Iterable[str],
+    *,
+    describe_missing: Callable[[str], str],
+    describe_extra: Callable[[str], str],
+    success_message: str,
+) -> int:
+    """Diff ``covered`` against ``required`` and print a verdict.
+
+    ``describe_missing``/``describe_extra`` render one line per gap —
+    callers keep their established message shapes.  Missing items
+    dominate the exit code; extras alone still fail (a registry naming
+    unknown items is stale) but only after every extra is reported.
+    """
+    required_set = set(required)
+    covered_set = set(covered)
+    extra = sorted(covered_set - required_set)
+    missing = sorted(required_set - covered_set)
+    for name in extra:
+        print(describe_extra(name))
+    if missing:
+        for name in missing:
+            print(describe_missing(name))
+        return 1
+    print(success_message)
+    return 1 if extra else 0

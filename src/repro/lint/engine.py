@@ -52,6 +52,7 @@ __all__ = [
     "all_rules",
     "lint_paths",
     "lint_source",
+    "load_modules",
     "register_rule",
     "ruleset_codes",
 ]
@@ -60,7 +61,7 @@ __all__ = [
 #: baseline files so a stale baseline is detected instead of silently
 #: matching against different semantics.  Bump on any change to rule
 #: behaviour or diagnostic messages.
-ENGINE_VERSION = "3.0.0"
+ENGINE_VERSION = "4.0.0"
 
 #: Code attached to files that fail to parse.
 SYNTAX_ERROR_CODE = "RPR901"
@@ -184,17 +185,25 @@ def _iter_comments(source: str) -> Iterator[tuple[int, str]]:
             yield token.start[0], token.string
 
 
-def parse_suppressions(source: str) -> tuple[Suppressions, list[tuple[int, str]]]:
+def parse_suppressions(
+    source: str,
+    comments: Sequence[tuple[int, str]] | None = None,
+) -> tuple[Suppressions, list[tuple[int, str]]]:
     """Scan source comments for suppression directives.
 
     Returns the table plus ``(line, code)`` pairs for unknown codes so
     the caller can surface them as :data:`UNKNOWN_SUPPRESSION_CODE`.
+    ``comments`` short-circuits the tokenize pass when the caller
+    already holds the comment stream (the engine tokenizes each file
+    exactly once and shares the result across rule families).
     """
     by_line: dict[int, frozenset[str]] = {}
     whole_file: set[str] = set()
     entries: list[SuppressionEntry] = []
     unknown: list[tuple[int, str]] = []
-    for lineno, text in _iter_comments(source):
+    if comments is None:
+        comments = tuple(_iter_comments(source))
+    for lineno, text in comments:
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
@@ -237,6 +246,11 @@ class ModuleContext:
     source: str
     tree: ast.Module
     suppressions: Suppressions
+    #: ``(line, text)`` comment tokens, tokenized once by the engine and
+    #: shared by every rule family that inspects comments (suppression
+    #: parsing, the float-doctrine pragma).  ``None`` only for contexts
+    #: built by hand in tests — consumers fall back to tokenizing.
+    comments: tuple[tuple[int, str], ...] | None = None
     #: Project-wide signature index, set by the engine before rules run
     #: (``None`` only when a context is built by hand in tests).
     index: "ProjectIndex | None" = None
@@ -246,6 +260,21 @@ class ModuleContext:
     _arrays: "ModuleArrays | None" = dataclasses.field(
         default=None, repr=False, compare=False
     )
+    _walked: "tuple[ast.AST, ...] | None" = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    def walk(self) -> "tuple[ast.AST, ...]":
+        """Every AST node of the module, in ``ast.walk`` order.
+
+        Computed once and shared by all rule families — a dozen-odd
+        rules previously re-traversed the full tree each; iterating
+        the cached tuple skips the repeated deque/iter_child_nodes
+        machinery.
+        """
+        if self._walked is None:
+            self._walked = tuple(ast.walk(self.tree))
+        return self._walked
 
     @property
     def is_test_code(self) -> bool:
@@ -360,6 +389,7 @@ def _ensure_builtin_rules() -> None:
         rules_contracts,
         rules_determinism,
         rules_numpy,
+        rules_purity,
         rules_units,
     )
 
@@ -380,6 +410,11 @@ class LintReport:
     stale_suppressions: list[Diagnostic] = dataclasses.field(
         default_factory=list
     )
+    #: Wall-clock duration of the run; set by :func:`lint_paths` and
+    #: surfaced as a timing line in the text report.  Excluded from
+    #: :meth:`to_json` when unset so snippet-level reports stay
+    #: byte-stable.
+    elapsed_seconds: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -422,6 +457,11 @@ class LintReport:
             lines.extend(
                 f"  {diag.format_text()}" for diag in self.stale_suppressions
             )
+        if self.elapsed_seconds is not None:
+            lines.append(
+                f"checked {self.files_checked} file(s) in "
+                f"{self.elapsed_seconds:.2f}s"
+            )
         return "\n".join(lines)
 
     def format_github(self) -> str:
@@ -456,6 +496,8 @@ class LintReport:
             ],
             "ok": self.ok,
         }
+        if self.elapsed_seconds is not None:
+            payload["elapsed_seconds"] = round(self.elapsed_seconds, 3)
         return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -517,13 +559,15 @@ def _parse_module(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    suppressions, unknown = parse_suppressions(source)
+    comments = tuple(_iter_comments(source))
+    suppressions, unknown = parse_suppressions(source, comments=comments)
     ctx = ModuleContext(
         path=path,
         display_path=display,
         source=source,
         tree=tree,
         suppressions=suppressions,
+        comments=comments,
     )
     extras = [
         Diagnostic(
@@ -558,29 +602,18 @@ def lint_source(
     return report
 
 
-def _run_rules(
-    modules: Sequence[ModuleContext], rules: Sequence[Rule]
-) -> tuple[list[Diagnostic], list[Diagnostic]]:
-    """Run rules, filter suppressed findings, and detect stale slots.
+def _check_modules(
+    modules: Sequence[ModuleContext],
+    per_module: Sequence[Rule],
+    used: dict[str, set[SuppressionEntry]],
+) -> set[Diagnostic]:
+    """Run per-module rules over ``modules``, honouring suppressions.
 
-    Returns ``(diagnostics, stale_suppressions)``: the surviving
-    findings, plus one :data:`STALE_SUPPRESSION_CODE` note per
-    suppression slot that matched no finding anywhere in the run.
+    ``used`` (keyed by display path so worker results merge across
+    process boundaries) collects the suppression entries that matched a
+    finding; the caller turns the complement into stale notes.
     """
-    from repro.lint.index import build_index
-
-    index = build_index([ctx.tree for ctx in modules])
-    for ctx in modules:
-        ctx.index = index
-    # A set: chained comparisons can trip the same rule twice at one
-    # position; one finding per (position, code, message) is enough.
     out: set[Diagnostic] = set()
-    used: dict[int, set[SuppressionEntry]] = {
-        id(ctx): set() for ctx in modules
-    }
-    per_module = [r for r in rules if not isinstance(r, ProjectRule)]
-    project = [r for r in rules if isinstance(r, ProjectRule)]
-    by_display = {ctx.display_path: ctx for ctx in modules}
     for ctx in modules:
         for rule in per_module:
             if ctx.is_test_code and not rule.run_on_tests:
@@ -590,8 +623,20 @@ def _run_rules(
                 if entry is None:
                     out.add(diag)
                 else:
-                    used[id(ctx)].add(entry)
+                    used[ctx.display_path].add(entry)
+    return out
+
+
+def _check_project(
+    modules: Sequence[ModuleContext],
+    project: Sequence[Rule],
+    used: dict[str, set[SuppressionEntry]],
+) -> set[Diagnostic]:
+    """Run project rules (always in the parent process)."""
+    out: set[Diagnostic] = set()
+    by_display = {ctx.display_path: ctx for ctx in modules}
     for rule in project:
+        assert isinstance(rule, ProjectRule)
         for diag in rule.check_project(modules):
             owner = by_display.get(diag.path)
             entry = (
@@ -602,11 +647,18 @@ def _run_rules(
             if owner is None or entry is None:
                 out.add(diag)
             else:
-                used[id(owner)].add(entry)
+                used[owner.display_path].add(entry)
+    return out
+
+
+def _stale_notes(
+    modules: Sequence[ModuleContext],
+    used: dict[str, set[SuppressionEntry]],
+) -> list[Diagnostic]:
     stale: list[Diagnostic] = []
     for ctx in modules:
         for entry in ctx.suppressions.entries:
-            if entry in used[id(ctx)]:
+            if entry in used[ctx.display_path]:
                 continue
             stale.append(
                 Diagnostic(
@@ -621,36 +673,203 @@ def _run_rules(
                 )
             )
     stale.sort(key=Diagnostic.sort_key)
+    return stale
+
+
+def _attach_index(modules: Sequence[ModuleContext]) -> None:
+    from repro.lint.index import build_index
+
+    index = build_index([ctx.tree for ctx in modules])
+    for ctx in modules:
+        ctx.index = index
+
+
+def _run_rules(
+    modules: Sequence[ModuleContext], rules: Sequence[Rule]
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Run rules, filter suppressed findings, and detect stale slots.
+
+    Returns ``(diagnostics, stale_suppressions)``: the surviving
+    findings, plus one :data:`STALE_SUPPRESSION_CODE` note per
+    suppression slot that matched no finding anywhere in the run.
+    """
+    _attach_index(modules)
+    # A set: chained comparisons can trip the same rule twice at one
+    # position; one finding per (position, code, message) is enough.
+    used: dict[str, set[SuppressionEntry]] = {
+        ctx.display_path: set() for ctx in modules
+    }
+    per_module = [r for r in rules if not isinstance(r, ProjectRule)]
+    project = [r for r in rules if isinstance(r, ProjectRule)]
+    out = _check_modules(modules, per_module, used)
+    out |= _check_project(modules, project, used)
+    stale = _stale_notes(modules, used)
     return sorted(out, key=Diagnostic.sort_key), stale
+
+
+def _lint_worker(
+    payload: tuple[int, int, list[tuple[str, str, str]]],
+) -> tuple[
+    list[Diagnostic], dict[str, list[SuppressionEntry]]
+]:
+    """One ``--jobs`` child: per-module rules over an interleaved chunk.
+
+    Every worker re-parses the full file set (parsing is cheap; the
+    dataflow/array analyses the per-module rules trigger are the
+    expensive part) so the cross-module signature index each child
+    builds is identical to the parent's.  Project rules always run in
+    the parent.  Module-level so it pickles under spawn.
+    """
+    chunk_index, jobs, files = payload
+    trees: list[ast.Module] = []
+    chunk: list[ModuleContext] = []
+    position = 0
+    for path_str, display, source in files:
+        try:
+            tree = ast.parse(source, filename=path_str)
+        except SyntaxError:
+            continue  # the parent already reported RPR901
+        trees.append(tree)
+        if position % jobs == chunk_index:
+            # Tokenize/suppression work only for this worker's share;
+            # the other trees are parsed solely to reproduce the
+            # parent's cross-module signature index.
+            comments = tuple(_iter_comments(source))
+            suppressions, _unknown = parse_suppressions(
+                source, comments=comments
+            )
+            chunk.append(
+                ModuleContext(
+                    path=Path(path_str),
+                    display_path=display,
+                    source=source,
+                    tree=tree,
+                    suppressions=suppressions,
+                    comments=comments,
+                )
+            )
+        position += 1
+    from repro.lint.index import build_index
+
+    index = build_index(trees)
+    for ctx in chunk:
+        ctx.index = index
+    per_module = [
+        rule for rule in all_rules() if not isinstance(rule, ProjectRule)
+    ]
+    used: dict[str, set[SuppressionEntry]] = {
+        ctx.display_path: set() for ctx in chunk
+    }
+    diagnostics = _check_modules(chunk, per_module, used)
+    return (
+        sorted(diagnostics, key=Diagnostic.sort_key),
+        {
+            display: sorted(
+                entries, key=lambda e: (e.line, e.kind, e.code)
+            )
+            for display, entries in used.items()
+        },
+    )
+
+
+def _run_rules_parallel(
+    modules: Sequence[ModuleContext], jobs: int
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """``--jobs N`` execution: fan per-module rules out over processes.
+
+    Interleaved chunks (``modules[i::n]``) balance the heavy files
+    (sorted directory walks cluster big modules together) and the final
+    sort restores a deterministic finding order regardless of worker
+    completion order.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    files = [
+        (str(ctx.path), ctx.display_path, ctx.source) for ctx in modules
+    ]
+    n = max(1, min(jobs, len(modules)))
+    used: dict[str, set[SuppressionEntry]] = {
+        ctx.display_path: set() for ctx in modules
+    }
+    out: set[Diagnostic] = set()
+    with ProcessPoolExecutor(max_workers=n) as pool:
+        results = list(
+            pool.map(_lint_worker, [(i, n, files) for i in range(n)])
+        )
+    for diagnostics, worker_used in results:
+        out.update(diagnostics)
+        for display, entries in worker_used.items():
+            used[display].update(entries)
+    _attach_index(modules)
+    project = [
+        rule for rule in all_rules() if isinstance(rule, ProjectRule)
+    ]
+    out |= _check_project(modules, project, used)
+    stale = _stale_notes(modules, used)
+    return sorted(out, key=Diagnostic.sort_key), stale
+
+
+def load_modules(
+    paths: Sequence[str | Path],
+    root: str | Path | None = None,
+) -> tuple[list[ModuleContext], list[Diagnostic]]:
+    """Read and parse every python file under ``paths``.
+
+    Returns the parsed module contexts plus the parse-stage diagnostics
+    (:data:`SYNTAX_ERROR_CODE` for unparseable files,
+    :data:`UNKNOWN_SUPPRESSION_CODE` for bad directives).  Shared by
+    :func:`lint_paths` and the purity certifier CLI so both load a tree
+    identically.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    modules: list[ModuleContext] = []
+    extras: list[Diagnostic] = []
+    for path in _iter_python_files(Path(p) for p in paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        ctx, diags = _parse_module(path, base, source)
+        extras.extend(diags)
+        if ctx is not None:
+            modules.append(ctx)
+    return modules, extras
 
 
 def lint_paths(
     paths: Sequence[str | Path],
     root: str | Path | None = None,
     rules: Sequence[Rule] | None = None,
+    jobs: int = 1,
 ) -> LintReport:
     """Lint files/directories and return the aggregated report.
 
     ``root`` anchors the relative display paths (defaults to the current
     working directory).  Directories are walked recursively for ``*.py``.
+    ``jobs`` > 1 fans per-module rules out over worker processes — only
+    with the default ruleset (custom rule objects may not pickle); a
+    filtered ``rules`` argument falls back to serial execution.  Finding
+    order is deterministic either way.
     """
-    base = Path(root) if root is not None else Path.cwd()
-    selected = all_rules() if rules is None else tuple(rules)
+    import time
+
+    started = time.perf_counter()
     report = LintReport()
-    modules: list[ModuleContext] = []
-    for path in _iter_python_files(Path(p) for p in paths):
-        try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise LintError(f"cannot read {path}: {exc}") from exc
-        ctx, extras = _parse_module(path, base, source)
-        report.files_checked += 1
-        report.diagnostics.extend(extras)
-        if ctx is not None:
-            report.suppression_count += ctx.suppressions.count()
-            modules.append(ctx)
-    diagnostics, stale = _run_rules(modules, selected)
+    modules, extras = load_modules(paths, root=root)
+    report.files_checked = len(modules) + sum(
+        1 for diag in extras if diag.code == SYNTAX_ERROR_CODE
+    )
+    report.diagnostics.extend(extras)
+    report.suppression_count = sum(
+        ctx.suppressions.count() for ctx in modules
+    )
+    if jobs > 1 and rules is None and len(modules) > 1:
+        diagnostics, stale = _run_rules_parallel(modules, jobs)
+    else:
+        selected = all_rules() if rules is None else tuple(rules)
+        diagnostics, stale = _run_rules(modules, selected)
     report.diagnostics.extend(diagnostics)
     report.diagnostics.sort(key=Diagnostic.sort_key)
     report.stale_suppressions = stale
+    report.elapsed_seconds = time.perf_counter() - started
     return report

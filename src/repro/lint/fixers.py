@@ -420,7 +420,11 @@ def apply_fixes(
         except SyntaxError:
             outcome.files_skipped.append(display)
             continue
-        path.write_text(fixed, encoding="utf-8")
+        # Imported lazily: the lint package stays importable without the
+        # simulator stack that repro.serialization pulls in.
+        from repro.serialization import atomic_write_text
+
+        atomic_write_text(path, fixed)
         outcome.files_changed.append(display)
         outcome.edits_applied += len(fixes)
     outcome.report_after = lint_paths(paths, root=base)

@@ -697,27 +697,27 @@ def _print_pins(root: str) -> int:
 
 def _check_coverage() -> int:
     # Imported lazily so plain lint runs never pay the numpy import.
+    from repro.lint.coverage import check_coverage
     from repro.sched.vectorized import SCHEDULER_KINDS
 
     covered: set[str] = set()
     for pair in PAIRS:
         covered.update(pair.covers)
-    missing = sorted(set(SCHEDULER_KINDS) - covered)
-    extra = sorted(covered - set(SCHEDULER_KINDS))
-    for name in extra:
-        print(f"parity registry covers unknown scheduler {name!r}")
-    if missing:
-        for name in missing:
-            print(
-                f"scheduler {name!r} has a batch kernel but no parity "
-                "pair covers it; add one to repro/lint/parity.py"
-            )
-        return 1
-    print(
-        f"parity registry covers all {len(SCHEDULER_KINDS)} batch "
-        f"schedulers via {len(PAIRS)} pairs"
+    return check_coverage(
+        required=SCHEDULER_KINDS,
+        covered=covered,
+        describe_missing=lambda name: (
+            f"scheduler {name!r} has a batch kernel but no parity "
+            "pair covers it; add one to repro/lint/parity.py"
+        ),
+        describe_extra=lambda name: (
+            f"parity registry covers unknown scheduler {name!r}"
+        ),
+        success_message=(
+            f"parity registry covers all {len(SCHEDULER_KINDS)} batch "
+            f"schedulers via {len(PAIRS)} pairs"
+        ),
     )
-    return 1 if extra else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

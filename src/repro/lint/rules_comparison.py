@@ -168,7 +168,7 @@ class QuantityLiteralComparisonRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Compare):
                 continue
             if has_tolerance_marker(node):
@@ -204,7 +204,7 @@ class QuantityPairComparisonRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Compare):
                 continue
             if has_tolerance_marker(node) or has_int_literal(node):

@@ -91,7 +91,7 @@ def _assigns_name(cls: ast.ClassDef) -> bool:
 
 
 def _scheduler_classes(ctx: ModuleContext) -> Iterator[ast.ClassDef]:
-    for node in ast.walk(ctx.tree):
+    for node in ctx.walk():
         if isinstance(node, ast.ClassDef) and _is_scheduler_subclass(node):
             yield node
 
@@ -216,7 +216,7 @@ class FrozenSpecMutationRule(Rule):
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         spec_names = set()
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, ast.arg) and _annotation_is_spec(node.annotation):
                 spec_names.add(node.arg)
             elif isinstance(node, ast.AnnAssign):
@@ -229,7 +229,7 @@ class FrozenSpecMutationRule(Rule):
         def is_spec(name: str) -> bool:
             return name in spec_names or _looks_like_spec(name)
 
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, (ast.Assign, ast.AugAssign)):
                 targets = (
                     node.targets

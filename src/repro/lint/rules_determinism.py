@@ -65,7 +65,7 @@ class GlobalRandomRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, (ast.Import, ast.ImportFrom)):
                 module = getattr(node, "module", None)
                 names = [alias.name for alias in node.names]
@@ -99,7 +99,7 @@ class WallClockRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             dotted = _dotted(node.func)
@@ -128,7 +128,7 @@ class UnseededRngRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             dotted = _dotted(node.func)
@@ -176,7 +176,7 @@ class SetIterationRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             target: ast.expr | None = None
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 target = node.iter

@@ -63,9 +63,10 @@ __all__ = [
 ]
 
 #: Pragma marking a module as subject to the bit-exact doctrine.  Must
-#: be a whole comment line so prose mentioning the pragma (docstrings,
-#: documentation snippets) does not opt a module in by accident.
-_DOCTRINE_RE = re.compile(r"^\s*#\s*repro:\s*float-doctrine\b", re.MULTILINE)
+#: be a real comment token so prose mentioning the pragma (docstrings,
+#: documentation snippets) does not opt a module in by accident; the
+#: engine's shared comment stream provides that for free.
+_DOCTRINE_RE = re.compile(r"^#\s*repro:\s*float-doctrine\b")
 
 #: numpy ufuncs with SIMD kernels known (or suspected) to diverge from
 #: libm by >= 1 ulp on some inputs.  ``np.sqrt`` is absent on purpose:
@@ -146,8 +147,25 @@ _ARITH_OPS = (
 
 
 def is_doctrine_module(ctx: ModuleContext) -> bool:
-    """Whether the module opted into the bit-exact float doctrine."""
-    return _DOCTRINE_RE.search(ctx.source) is not None
+    """Whether the module opted into the bit-exact float doctrine.
+
+    Reads the comment stream the engine tokenized once per file instead
+    of re-scanning the raw source; hand-built contexts without a stream
+    fall back to tokenizing here.
+    """
+    comments = ctx.comments
+    if comments is None:
+        from repro.lint.engine import _iter_comments
+
+        comments = tuple(_iter_comments(ctx.source))
+    lines = ctx.source.splitlines()
+    return any(
+        _DOCTRINE_RE.match(text) is not None
+        # Whole-line comments only: a trailing `x = 1  # repro: ...`
+        # does not opt the module in.
+        and lines[line - 1].lstrip().startswith("#")
+        for line, text in comments
+    )
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -197,7 +215,7 @@ class UnorderedReductionRule(_DoctrineRule):
 
     def check_doctrine(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         arrays = ctx.arrays
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, ast.Call):
                 attr = _np_attr(node.func)
                 if (
@@ -259,7 +277,7 @@ class SimdDivergentUfuncRule(_DoctrineRule):
 
     def check_doctrine(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         arrays = ctx.arrays
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, ast.Call):
                 attr = _np_attr(node.func)
                 if attr in self.divergent:
@@ -298,7 +316,7 @@ class DtypePromotionRule(_DoctrineRule):
 
     def check_doctrine(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         arrays = ctx.arrays
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, ast.BinOp) and isinstance(
                 node.op, _ARITH_OPS
             ):
@@ -365,7 +383,7 @@ class UnstableSortRule(_DoctrineRule):
 
     def check_doctrine(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
         arrays = ctx.arrays
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             attr = _np_attr(node.func)
@@ -414,7 +432,7 @@ class InPlaceParamMutationRule(_DoctrineRule):
     _VIEW_METHODS = frozenset({"reshape", "ravel", "view", "flatten"})
 
     def check_doctrine(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_function(ctx, node)
 

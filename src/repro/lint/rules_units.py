@@ -52,7 +52,7 @@ class MixedUnitAdditionRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, ast.BinOp) and isinstance(
                 node.op, (ast.Add, ast.Sub)
             ):
@@ -90,7 +90,7 @@ class MixedUnitComparisonRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Compare):
                 continue
             if has_tolerance_marker(node):

@@ -25,6 +25,7 @@ extra dependencies, stable on-disk formats.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import math
 import os
@@ -50,7 +51,8 @@ PathLike = Union[str, Path]
 
 
 def atomic_write_text(path: PathLike, text: str,
-                      encoding: str = "utf-8") -> None:
+                      encoding: str = "utf-8",
+                      newline: str | None = None) -> None:
     """Write ``text`` to ``path`` so readers see the old or the new file.
 
     The payload goes to a sibling temporary file first (same directory,
@@ -58,11 +60,15 @@ def atomic_write_text(path: PathLike, text: str,
     and fsync'd, and only then renamed over the destination.  A crash at
     any point leaves either the previous content or the complete new
     content — never a torn file.  The temporary is cleaned up on error.
+
+    ``newline`` forwards to :func:`open`; CSV writers pass ``""`` so the
+    ``\\r\\n`` line endings :mod:`csv` emits survive untranslated, same
+    as a direct ``open(path, "w", newline="")``.
     """
     target = Path(path)
     tmp = target.with_name(target.name + ".tmp")
     try:
-        with open(tmp, "w", encoding=encoding) as handle:
+        with open(tmp, "w", encoding=encoding, newline=newline) as handle:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
@@ -199,7 +205,9 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
 def save_result_json(result: SimulationResult, path: PathLike) -> None:
     """Write :func:`result_to_dict` to ``path`` as pretty-printed JSON."""
     payload = result_to_dict(result)
-    Path(path).write_text(json.dumps(payload, indent=2, default=_json_safe))
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, default=_json_safe)
+    )
 
 
 #: Columns of the trace CSV format (stable order).
@@ -214,19 +222,20 @@ def trace_to_csv(trace: Trace, path: PathLike) -> int:
     column rather than an explosion of sparse columns.
     """
     count = 0
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(_TRACE_COLUMNS)
-        for record in trace:
-            writer.writerow(
-                [
-                    repr(record.time),
-                    record.kind,
-                    json.dumps(dict(record.fields), default=_json_safe,
-                               sort_keys=True),
-                ]
-            )
-            count += 1
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_TRACE_COLUMNS)
+    for record in trace:
+        writer.writerow(
+            [
+                repr(record.time),
+                record.kind,
+                json.dumps(dict(record.fields), default=_json_safe,
+                           sort_keys=True),
+            ]
+        )
+        count += 1
+    atomic_write_text(path, buffer.getvalue(), newline="")
     return count
 
 
@@ -265,11 +274,12 @@ _JOB_COLUMNS = (
 def jobs_to_csv(result: SimulationResult, path: PathLike) -> int:
     """Write the per-job table of a result to CSV; returns the row count."""
     count = 0
-    with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=_JOB_COLUMNS,
-                                extrasaction="ignore")
-        writer.writeheader()
-        for job in result.jobs:
-            writer.writerow(_job_record(job))
-            count += 1
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_JOB_COLUMNS,
+                            extrasaction="ignore")
+    writer.writeheader()
+    for job in result.jobs:
+        writer.writerow(_job_record(job))
+        count += 1
+    atomic_write_text(path, buffer.getvalue(), newline="")
     return count

@@ -1,0 +1,441 @@
+"""Corner cases of the cross-module call graph (RPR5xx foundation)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.callgraph import build_call_graph, module_dotted_name
+from repro.lint.engine import _parse_module
+
+
+def mod(display, source):
+    ctx, _extras = _parse_module(
+        Path(display), Path("."), textwrap.dedent(source)
+    )
+    assert ctx is not None, f"fixture {display} failed to parse"
+    return ctx
+
+
+def graph_of(*pairs):
+    return build_call_graph([mod(display, src) for display, src in pairs])
+
+
+def edge_kind(graph, caller, callee):
+    edge = graph.edges.get(caller, {}).get(callee)
+    return None if edge is None else edge.kind
+
+
+class TestModuleDottedName:
+    def test_src_prefix_stripped(self):
+        assert (
+            module_dotted_name("src/repro/runtime/journal.py")
+            == "repro.runtime.journal"
+        )
+
+    def test_package_init_maps_to_package(self):
+        assert module_dotted_name("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_backslashes_normalized(self):
+        assert module_dotted_name("src\\pkg\\mod.py") == "pkg.mod"
+
+
+class TestDirectCalls:
+    def test_same_module_call(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                """
+                def helper():
+                    return 1
+
+                def run():
+                    return helper()
+                """,
+            )
+        )
+        assert (
+            edge_kind(graph, "src/pkg/a.py::run", "src/pkg/a.py::helper")
+            == "call"
+        )
+
+    def test_from_import_cross_module(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                """
+                def helper():
+                    return 1
+                """,
+            ),
+            (
+                "src/pkg/b.py",
+                """
+                from pkg.a import helper
+
+                def run():
+                    return helper()
+                """,
+            ),
+        )
+        assert (
+            edge_kind(graph, "src/pkg/b.py::run", "src/pkg/a.py::helper")
+            == "call"
+        )
+
+    def test_import_as_dotted_call(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                """
+                def helper():
+                    return 1
+                """,
+            ),
+            (
+                "src/pkg/b.py",
+                """
+                import pkg.a as m
+
+                def run():
+                    return m.helper()
+                """,
+            ),
+        )
+        assert (
+            edge_kind(graph, "src/pkg/b.py::run", "src/pkg/a.py::helper")
+            == "call"
+        )
+
+    def test_relative_import(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                """
+                def helper():
+                    return 1
+                """,
+            ),
+            (
+                "src/pkg/b.py",
+                """
+                from .a import helper
+
+                def run():
+                    return helper()
+                """,
+            ),
+        )
+        assert (
+            edge_kind(graph, "src/pkg/b.py::run", "src/pkg/a.py::helper")
+            == "call"
+        )
+
+
+class TestMethodResolution:
+    def test_self_method_and_base_class(self):
+        graph = graph_of(
+            (
+                "src/pkg/c.py",
+                """
+                class Base:
+                    def shared(self):
+                        return 1
+
+                class Child(Base):
+                    def helper(self):
+                        return 2
+
+                    def decide(self):
+                        return self.shared() + self.helper()
+                """,
+            )
+        )
+        decide = "src/pkg/c.py::Child.decide"
+        assert edge_kind(graph, decide, "src/pkg/c.py::Child.helper") == "call"
+        assert edge_kind(graph, decide, "src/pkg/c.py::Base.shared") == "call"
+
+    def test_receiver_type_from_constructor(self):
+        graph = graph_of(
+            (
+                "src/pkg/c.py",
+                """
+                class Engine:
+                    def step(self):
+                        return 1
+
+                def run():
+                    engine = Engine()
+                    return engine.step()
+                """,
+            )
+        )
+        assert (
+            edge_kind(graph, "src/pkg/c.py::run", "src/pkg/c.py::Engine.step")
+            == "call"
+        )
+
+    def test_receiver_type_from_annotation(self):
+        graph = graph_of(
+            (
+                "src/pkg/c.py",
+                """
+                class Engine:
+                    def step(self):
+                        return 1
+
+                def run(engine: Engine):
+                    return engine.step()
+                """,
+            )
+        )
+        assert (
+            edge_kind(graph, "src/pkg/c.py::run", "src/pkg/c.py::Engine.step")
+            == "call"
+        )
+
+    def test_builtin_method_names_never_fall_back(self):
+        """``d.items()`` must not resolve to a project ``items`` method."""
+        graph = graph_of(
+            (
+                "src/pkg/c.py",
+                """
+                class Registry:
+                    def items(self):
+                        return []
+
+                def run(d):
+                    return d.items()
+                """,
+            )
+        )
+        assert (
+            edge_kind(
+                graph, "src/pkg/c.py::run", "src/pkg/c.py::Registry.items"
+            )
+            is None
+        )
+
+    def test_unique_project_method_falls_back(self):
+        graph = graph_of(
+            (
+                "src/pkg/c.py",
+                """
+                class Registry:
+                    def lookup(self):
+                        return []
+
+                def run(d):
+                    return d.lookup()
+                """,
+            )
+        )
+        assert (
+            edge_kind(
+                graph, "src/pkg/c.py::run", "src/pkg/c.py::Registry.lookup"
+            )
+            == "call"
+        )
+
+
+class TestIndirectReferences:
+    def test_functools_partial(self):
+        graph = graph_of(
+            (
+                "src/pkg/p.py",
+                """
+                from functools import partial
+
+                def worker(x):
+                    return x
+
+                def run():
+                    return partial(worker, 1)
+                """,
+            )
+        )
+        assert (
+            edge_kind(graph, "src/pkg/p.py::run", "src/pkg/p.py::worker")
+            == "partial"
+        )
+
+    def test_decorator_edge(self):
+        graph = graph_of(
+            (
+                "src/pkg/d.py",
+                """
+                def deco(fn):
+                    return fn
+
+                @deco
+                def target():
+                    return 1
+                """,
+            )
+        )
+        assert (
+            edge_kind(graph, "src/pkg/d.py::target", "src/pkg/d.py::deco")
+            == "decorator"
+        )
+
+    def test_bare_name_callback_ref(self):
+        graph = graph_of(
+            (
+                "src/pkg/r.py",
+                """
+                def callback(x):
+                    return x
+
+                def run(items):
+                    return sorted(items, key=callback)
+                """,
+            )
+        )
+        assert (
+            edge_kind(graph, "src/pkg/r.py::run", "src/pkg/r.py::callback")
+            == "ref"
+        )
+
+    def test_submit_records_worker(self):
+        graph = graph_of(
+            (
+                "src/pkg/s.py",
+                """
+                def work(x):
+                    return x
+
+                def run(pool):
+                    return pool.submit(work, 3)
+                """,
+            )
+        )
+        assert "src/pkg/s.py::work" in graph.submitted
+        assert (
+            edge_kind(graph, "src/pkg/s.py::run", "src/pkg/s.py::work")
+            == "submit"
+        )
+
+
+class TestNestedAndCycles:
+    def test_nested_def_contains_edge_and_closure(self):
+        graph = graph_of(
+            (
+                "src/pkg/n.py",
+                """
+                def helper():
+                    return 1
+
+                def outer():
+                    def inner():
+                        return helper()
+                    return inner
+                """,
+            )
+        )
+        outer = "src/pkg/n.py::outer"
+        inner = "src/pkg/n.py::outer.inner"
+        assert edge_kind(graph, outer, inner) == "contains"
+        assert edge_kind(graph, inner, "src/pkg/n.py::helper") == "call"
+        assert "src/pkg/n.py::helper" in graph.reachable([outer])
+
+    def test_mutual_recursion_terminates(self):
+        graph = graph_of(
+            (
+                "src/pkg/m.py",
+                """
+                def even(n):
+                    return n == 0 or odd(n - 1)
+
+                def odd(n):
+                    return n != 0 and even(n - 1)
+                """,
+            )
+        )
+        reached = graph.reachable(["src/pkg/m.py::even"])
+        assert reached == {"src/pkg/m.py::even", "src/pkg/m.py::odd"}
+
+    def test_shortest_path(self):
+        graph = graph_of(
+            (
+                "src/pkg/p.py",
+                """
+                def leaf():
+                    return 1
+
+                def mid():
+                    return leaf()
+
+                def root():
+                    return mid() + leaf()
+                """,
+            )
+        )
+        chain = graph.path("src/pkg/p.py::root", "src/pkg/p.py::leaf")
+        assert chain is not None
+        assert [edge.callee for edge in chain] == ["src/pkg/p.py::leaf"]
+
+
+class TestRegistryDispatch:
+    def test_make_scheduler_fans_out(self):
+        graph = graph_of(
+            (
+                "src/pkg/registry.py",
+                """
+                def make_scheduler(name):
+                    return None
+
+                def run(name):
+                    return make_scheduler(name)
+                """,
+            ),
+            (
+                "src/pkg/sched.py",
+                """
+                class FooScheduler:
+                    def __init__(self):
+                        self.state = 0
+
+                    def decide(self):
+                        return 0
+                """,
+            ),
+        )
+        run = "src/pkg/registry.py::run"
+        init = "src/pkg/sched.py::FooScheduler.__init__"
+        decide = "src/pkg/sched.py::FooScheduler.decide"
+        assert edge_kind(graph, run, init) == "dispatch"
+        assert edge_kind(graph, run, decide) == "dispatch"
+
+
+class TestResolveRef:
+    def test_suffix_and_exact_match(self):
+        graph = graph_of(
+            (
+                "src/repro/a.py",
+                """
+                def helper():
+                    return 1
+                """,
+            )
+        )
+        key = "src/repro/a.py::helper"
+        assert graph.resolve_ref("repro/a.py::helper") == key
+        assert graph.resolve_ref("src/repro/a.py::helper") == key
+        assert graph.resolve_ref("repro/missing.py::helper") is None
+        assert graph.resolve_ref("repro/a.py::missing") is None
+        assert graph.resolve_ref("no-separator") is None
+
+    def test_unresolved_calls_recorded(self):
+        graph = graph_of(
+            (
+                "src/pkg/u.py",
+                """
+                import numpy as np
+
+                def run(values):
+                    return np.asarray(values)
+                """,
+            )
+        )
+        names = [
+            name for name, _ in graph.unresolved.get("src/pkg/u.py::run", [])
+        ]
+        assert "np.asarray" in names

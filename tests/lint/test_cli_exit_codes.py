@@ -136,6 +136,55 @@ class TestFailOnStale:
         )
 
 
+class TestCertifyCli:
+    MANIFEST = '[hash-closure]\nroots = ["repro/mod.py::canon"]\n'
+
+    def test_no_manifest_exits_two(self, tree, capsys):
+        tree("clean.py", "X = 1\n")
+        assert main(["lint", "src", "--certify"]) == 2
+        assert "nothing to certify" in capsys.readouterr().out
+
+    def test_certified_root_exits_zero(self, tree, tmp_path, capsys):
+        tree("mod.py", "def canon(x):\n    return x + 1\n")
+        (tmp_path / "purity-roots.toml").write_text(self.MANIFEST)
+        assert main(["lint", "src", "--certify"]) == 0
+        assert "fully certified" in capsys.readouterr().out
+
+    def test_tainted_root_exits_one(self, tree, tmp_path, capsys):
+        tree(
+            "mod.py",
+            "import time\n\n\ndef canon(x):\n    return time.time()\n",
+        )
+        (tmp_path / "purity-roots.toml").write_text(self.MANIFEST)
+        assert main(["lint", "src", "--certify"]) == 1
+        assert "NOT certified" in capsys.readouterr().out
+
+    def test_explain_path_tainted_exits_one(self, tree, tmp_path, capsys):
+        tree(
+            "mod.py",
+            "import time\n\n\ndef canon(x):\n    return time.time()\n",
+        )
+        (tmp_path / "purity-roots.toml").write_text(self.MANIFEST)
+        assert (
+            main(["lint", "src", "--explain-path", "RPR501:canon"]) == 1
+        )
+        assert "taint: wall-clock read" in capsys.readouterr().out
+
+    def test_explain_path_clean_exits_zero(self, tree, capsys):
+        tree("mod.py", "def canon(x):\n    return x + 1\n")
+        assert (
+            main(["lint", "src", "--explain-path", "RPR501:canon"]) == 0
+        )
+        assert "closure is clean" in capsys.readouterr().out
+
+    def test_explain_path_bad_spec_exits_two(self, tree, capsys):
+        tree("mod.py", "def canon(x):\n    return x + 1\n")
+        assert (
+            main(["lint", "src", "--explain-path", "bogus"]) == 2
+        )
+        assert "error" in capsys.readouterr().err
+
+
 class TestGithubFormat:
     def test_finding_renders_error_command(self, tree, capsys):
         tree("dirty.py", FINDING)

@@ -175,6 +175,23 @@ def _report():
                 message="`batch_compute_plan` diverged from the pinned "
                 "batch float-op sequence of pair 'compute-plan'",
             ),
+            Diagnostic(
+                path="src/repro/runtime/journal.py",
+                line=88,
+                col=12,
+                code="RPR501",
+                message="hash-closure root "
+                "`repro/serialization.py::canonical_value` reaches "
+                "wall-clock read `time.time()` in `_json_safe`",
+            ),
+            Diagnostic(
+                path="src/repro/energy/trace_io.py",
+                line=261,
+                col=10,
+                code="RPR506",
+                message="non-atomic write open(..., 'w') in "
+                "`save_power_csv` can leave a torn file after a crash",
+            ),
         ],
         stale_suppressions=[
             Diagnostic(
@@ -239,6 +256,26 @@ class TestSarif:
             assert code in by_id, code
             assert by_id[code]["shortDescription"]["text"]
             assert by_id[code]["defaultConfiguration"]["level"] == "error"
+
+    def test_purity_rules_have_metadata(self):
+        rules = to_sarif(_report())["runs"][0]["tool"]["driver"]["rules"]
+        by_id = {rule["id"]: rule for rule in rules}
+        for code in ("RPR501", "RPR502", "RPR503", "RPR504", "RPR505",
+                     "RPR506", "RPR507", "RPR508", "RPR509"):
+            assert code in by_id, code
+            assert by_id[code]["shortDescription"]["text"]
+            assert by_id[code]["defaultConfiguration"]["level"] == "error"
+
+    def test_rpr5xx_results_validate_and_resolve(self):
+        sarif = to_sarif(_report())
+        jsonschema.validate(sarif, SARIF_SUBSET_SCHEMA)
+        run = sarif["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        by_code = {res["ruleId"]: res for res in run["results"]}
+        for code in ("RPR501", "RPR506"):
+            result = by_code[code]
+            assert result["level"] == "error"
+            assert rule_ids[result["ruleIndex"]] == code
 
     def test_rpr4xx_results_validate_and_resolve(self):
         sarif = to_sarif(_report())

@@ -15,6 +15,9 @@ baseline (see ``docs/static-analysis.md``).
 from pathlib import Path
 
 from repro.lint import Baseline, lint_paths
+from repro.lint import rules_purity
+from repro.lint.engine import load_modules
+from repro.lint.purity import analyze, certify, parse_manifest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -57,6 +60,44 @@ class TestSelfHost:
         report = lint_paths(DEFAULT_TREE, root=REPO_ROOT)
         stale = "\n".join(d.format_text() for d in report.stale_suppressions)
         assert not report.stale_suppressions, "\n" + stale
+
+    def test_timing_recorded_and_under_budget(self):
+        """The engine shares one parse/tokenize/walk per file across all
+        rule families; before PR 10 a full-tree run took ~8.5s on the CI
+        baseline box, after it ~4.3s.  The generous ceiling only catches
+        a pathological regression (an accidental per-rule re-analysis),
+        not scheduler jitter."""
+        report = lint_paths(DEFAULT_TREE, root=REPO_ROOT)
+        assert report.elapsed_seconds is not None
+        assert report.elapsed_seconds < 30.0, report.elapsed_seconds
+        assert (
+            f"in {report.elapsed_seconds:.2f}s" in report.format_text()
+        )
+
+    def test_one_purity_analysis_per_run(self):
+        """All seven interprocedural RPR5xx rules share one whole-program
+        analysis build per engine run."""
+        before = rules_purity.ANALYSIS_BUILDS
+        lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert rules_purity.ANALYSIS_BUILDS - before == 1
+
+    def test_hash_closure_fully_certified(self):
+        """The CI purity gate: every checked-in hash-closure root must
+        certify deterministic with zero exceptions."""
+        manifest_path = REPO_ROOT / "purity-roots.toml"
+        manifest = parse_manifest(
+            manifest_path.read_text(encoding="utf-8"), path=manifest_path
+        )
+        assert manifest.hash_closure_roots, "manifest lost its roots"
+        modules, extras = load_modules(
+            [REPO_ROOT / "src"], root=REPO_ROOT
+        )
+        assert not extras, extras
+        report = certify(analyze(modules), manifest)
+        assert report.ok, "\n" + report.format_text()
+        assert set(report.certified_refs) == set(
+            manifest.hash_closure_roots
+        )
 
     def test_baselined_findings_are_only_comparison_codes(self):
         """The baseline may pin relaxed-profile comparison findings in

@@ -11,6 +11,7 @@ from repro.energy.source import SolarStochasticSource
 from repro.energy.storage import IdealStorage
 from repro.sched.edf import GreedyEdfScheduler
 from repro.serialization import (
+    atomic_write_text,
     canonical_json,
     canonical_value,
     jobs_to_csv,
@@ -124,6 +125,71 @@ class TestJobsCsv:
         assert len(lines) == 31  # header + jobs
         assert lines[0].startswith("name,task,release")
         assert "t#0" in lines[1]
+
+
+class TestAtomicWrite:
+    def test_writes_and_cleans_temporary(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "payload")
+        assert target.read_text() == "payload"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_interrupted_commit_leaves_original_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash at the rename must expose old-or-new, never a tear."""
+        target = tmp_path / "out.txt"
+        target.write_text("old content")
+
+        def crash(src, dst):
+            raise OSError("simulated crash during commit")
+
+        monkeypatch.setattr("repro.serialization.os.replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(target, "new content")
+        assert target.read_text() == "old content"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_interrupted_fsync_cleans_temporary(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+
+        def crash(fd):
+            raise OSError("simulated fsync failure")
+
+        monkeypatch.setattr("repro.serialization.os.fsync", crash)
+        with pytest.raises(OSError, match="fsync"):
+            atomic_write_text(target, "payload")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_interrupted_trace_export_leaves_no_partial_file(
+        self, tmp_path, monkeypatch
+    ):
+        trace = Trace()
+        trace.record(1.0, "energy", stored=1.0)
+        path = tmp_path / "trace.csv"
+
+        def crash(src, dst):
+            raise OSError("simulated crash during commit")
+
+        monkeypatch.setattr("repro.serialization.os.replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            trace_to_csv(trace, path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_csv_newline_semantics_preserved(self, tmp_path):
+        """The atomic path must keep the CRLF endings :mod:`csv` emits."""
+        trace = Trace()
+        trace.record(1.0, "energy", stored=1.0)
+        path = tmp_path / "trace.csv"
+        trace_to_csv(trace, path)
+        data = path.read_bytes()
+        assert data.count(b"\r\n") == 2  # header + one record
+        assert b"\n\n" not in data  # no doubled translation
+
+    def test_newline_parameter_forwarded(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        atomic_write_text(path, "a\r\nb\r\n", newline="")
+        assert path.read_bytes() == b"a\r\nb\r\n"
 
 
 class TestCanonicalJson:
